@@ -1,0 +1,12 @@
+"""EXP-ADV — the adversarial collision search over frugal encoders."""
+
+from repro.analysis import exp_adversary, format_table
+from repro.graphs.properties import has_square
+from repro.reductions import DegreeEncoder, find_collision_exhaustive
+
+
+def test_exhaustive_collision_search_n5(benchmark, write_result):
+    w = benchmark(find_collision_exhaustive, DegreeEncoder(), 5, has_square, "has_square")
+    assert w is not None and w.verify(DegreeEncoder(), has_square)
+    title, headers, rows = exp_adversary(max_n=6)
+    write_result("EXP-ADV", format_table(title, headers, rows))

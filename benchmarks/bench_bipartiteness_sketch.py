@@ -1,0 +1,14 @@
+"""EXP-BIP — one-round sketch bipartiteness (double-cover extension)."""
+
+from repro.analysis import exp_bipartiteness_sketch, format_table
+from repro.graphs.generators import cycle_graph
+from repro.sketching import SketchBipartitenessProtocol
+
+
+def test_bipartiteness_round_n24(benchmark, write_result):
+    g = cycle_graph(24)
+    protocol = SketchBipartitenessProtocol(seed=3)
+    out = benchmark.pedantic(protocol.decide, args=(g,), rounds=3, iterations=1)
+    assert out is True
+    title, headers, rows = exp_bipartiteness_sketch(ns=(8, 16), seeds=5)
+    write_result("EXP-BIP", format_table(title, headers, rows))

@@ -1,0 +1,16 @@
+"""EXP-COAL — the strengthened (coalition) partition argument."""
+
+from repro.analysis import exp_coalition, format_table
+from repro.graphs.properties import has_square
+from repro.reductions.coalition import EdgeStatsCoalitionEncoder, find_coalition_collision
+
+
+def test_coalition_collision_search_n5(benchmark, write_result):
+    enc = EdgeStatsCoalitionEncoder(c=2)
+    w = benchmark.pedantic(
+        find_coalition_collision, args=(enc, 5, has_square, "has_square"),
+        rounds=2, iterations=1,
+    )
+    assert w is not None and w.verify(enc, has_square)
+    title, headers, rows = exp_coalition(max_n=5)
+    write_result("EXP-COAL", format_table(title, headers, rows))

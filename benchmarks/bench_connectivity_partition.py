@@ -1,0 +1,28 @@
+"""EXP-CONN — the conclusion's k-partition coalition connectivity."""
+
+import math
+
+from repro.analysis import exp_connectivity_partition, format_table
+from repro.graphs.generators import erdos_renyi
+from repro.protocols import PartitionConnectivityProtocol
+
+
+def test_partition_connectivity_n512_k8(benchmark, write_result):
+    n = 512
+    g = erdos_renyi(n, 2 * math.log(n) / n, seed=7)
+    protocol = PartitionConnectivityProtocol(8)
+    report = benchmark(protocol.run, g)
+    assert report.n == n
+    title, headers, rows = exp_connectivity_partition()
+    write_result("EXP-CONN", format_table(title, headers, rows))
+
+
+def test_part_forest_construction(benchmark):
+    from repro.protocols.partition_connectivity import parts_of
+
+    n = 512
+    g = erdos_renyi(n, 0.02, seed=8)
+    protocol = PartitionConnectivityProtocol(8)
+    part = parts_of(n, 8)[0]
+    forest = benchmark(protocol.part_forest, g, part)
+    assert len(forest) <= n - 1

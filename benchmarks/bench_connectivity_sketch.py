@@ -1,0 +1,22 @@
+"""EXP-SKETCH — AGM sketch connectivity (the open-question extension)."""
+
+from repro.analysis import exp_connectivity_sketch, format_table
+from repro.graphs.generators import random_tree
+from repro.sketching import AGMConnectivityProtocol
+
+
+def test_sketch_local_phase_n64(benchmark, write_result):
+    g = random_tree(64, seed=9)
+    protocol = AGMConnectivityProtocol(seed=1)
+    msgs = benchmark(protocol.message_vector, g)
+    assert len(msgs) == 64
+    title, headers, rows = exp_connectivity_sketch(ns=(16, 32, 64), seeds=5)
+    write_result("EXP-SKETCH", format_table(title, headers, rows))
+
+
+def test_sketch_global_phase_n64(benchmark):
+    g = random_tree(64, seed=10)
+    protocol = AGMConnectivityProtocol(seed=2)
+    msgs = protocol.message_vector(g)
+    out = benchmark(protocol.global_, g.n, msgs)
+    assert out is True

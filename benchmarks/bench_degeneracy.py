@@ -1,0 +1,19 @@
+"""EXP-DEGEN — the Matula–Beck degeneracy substrate at scale."""
+
+from repro.analysis import exp_degeneracy_classes, format_table
+from repro.graphs.degeneracy import degeneracy_ordering
+from repro.graphs.generators import erdos_renyi, random_k_degenerate
+
+
+def test_degeneracy_ordering_er_n4000(benchmark, write_result):
+    g = erdos_renyi(4000, 0.002, seed=1)
+    k, order = benchmark(degeneracy_ordering, g)
+    assert len(order) == 4000
+    title, headers, rows = exp_degeneracy_classes()
+    write_result("EXP-DEGEN", format_table(title, headers, rows))
+
+
+def test_degeneracy_ordering_k_degenerate_n4000(benchmark):
+    g = random_k_degenerate(4000, 4, seed=2)
+    k, order = benchmark(degeneracy_ordering, g)
+    assert k <= 4

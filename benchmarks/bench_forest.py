@@ -1,0 +1,22 @@
+"""EXP-FOREST — Section III.A: forests in one frugal round, at scale."""
+
+from repro.analysis import exp_forest, format_table
+from repro.graphs.generators import random_forest
+from repro.protocols import ForestReconstructionProtocol
+
+
+def test_forest_decode_n4096(benchmark, write_result):
+    g = random_forest(4096, 100, seed=1)
+    protocol = ForestReconstructionProtocol()
+    msgs = protocol.message_vector(g)
+    out = benchmark(protocol.global_, g.n, msgs)
+    assert out == g
+    title, headers, rows = exp_forest()
+    write_result("EXP-FOREST", format_table(title, headers, rows))
+
+
+def test_forest_local_phase_n4096(benchmark):
+    g = random_forest(4096, 100, seed=2)
+    protocol = ForestReconstructionProtocol()
+    msgs = benchmark(protocol.message_vector, g)
+    assert len(msgs) == 4096

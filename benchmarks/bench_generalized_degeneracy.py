@@ -1,0 +1,15 @@
+"""EXP-GD — Section III.E: generalized degeneracy (complement-side pruning)."""
+
+from repro.analysis import exp_generalized_degeneracy, format_table
+from repro.graphs.generators import random_tree
+from repro.protocols import GeneralizedDegeneracyProtocol
+
+
+def test_reconstruct_dense_complement_n48(benchmark, write_result):
+    g = random_tree(48, seed=3).complement()  # ~1081 edges, plain degeneracy ~45
+    protocol = GeneralizedDegeneracyProtocol(1)
+    msgs = protocol.message_vector(g)
+    out = benchmark(protocol.global_, g.n, msgs)
+    assert out == g
+    title, headers, rows = exp_generalized_degeneracy()
+    write_result("EXP-GD", format_table(title, headers, rows))

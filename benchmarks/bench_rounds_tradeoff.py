@@ -1,0 +1,15 @@
+"""EXP-ROUNDS — the rounds-for-bits trade-off (conclusion's last question)."""
+
+from repro.analysis import exp_rounds_tradeoff, format_table
+from repro.graphs.generators import erdos_renyi
+from repro.model import MultiRoundReferee
+from repro.protocols.adaptive_query import AdaptiveQueryReconstruction
+
+
+def test_adaptive_query_full_run_n32(benchmark, write_result):
+    g = erdos_renyi(32, 0.3, seed=5)
+    referee = MultiRoundReferee()
+    report = benchmark(referee.run, AdaptiveQueryReconstruction(), g)
+    assert report.output == g
+    title, headers, rows = exp_rounds_tradeoff(ns=(16, 32))
+    write_result("EXP-ROUNDS", format_table(title, headers, rows))

@@ -1,0 +1,21 @@
+"""EXP-T1 — Theorem 1: the square reduction (Algorithm 1) end to end."""
+
+from repro.analysis import exp_theorem1_square, format_table
+from repro.graphs.generators import random_square_free
+from repro.reductions import OracleSquareDetector, SquareReduction, square_gadget
+
+
+def test_square_reduction_global_n8(benchmark, write_result):
+    g = random_square_free(8, 0.3, seed=2)
+    delta = SquareReduction(OracleSquareDetector())
+    msgs = delta.message_vector(g)
+    out = benchmark(delta.global_, g.n, msgs)
+    assert out == g
+    title, headers, rows = exp_theorem1_square()
+    write_result("EXP-T1", format_table(title, headers, rows))
+
+
+def test_square_gadget_construction(benchmark):
+    g = random_square_free(64, 0.2, seed=3)
+    gp = benchmark(square_gadget, g, 5, 40)
+    assert gp.n == 128

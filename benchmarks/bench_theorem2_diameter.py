@@ -1,0 +1,22 @@
+"""EXP-T2 — Theorem 2 / Figure 1: the diameter reduction (Algorithm 2)."""
+
+from repro.analysis import exp_theorem2_diameter, format_table
+from repro.graphs.families import figure1_base
+from repro.graphs.generators import erdos_renyi
+from repro.reductions import DiameterReduction, OracleDiameterDetector, diameter_gadget
+
+
+def test_diameter_reduction_global_figure1(benchmark, write_result):
+    g = figure1_base()
+    delta = DiameterReduction(OracleDiameterDetector(3))
+    msgs = delta.message_vector(g)
+    out = benchmark(delta.global_, g.n, msgs)
+    assert out == g
+    title, headers, rows = exp_theorem2_diameter()
+    write_result("EXP-T2", format_table(title, headers, rows))
+
+
+def test_diameter_gadget_construction(benchmark):
+    g = erdos_renyi(128, 0.1, seed=4)
+    gp = benchmark(diameter_gadget, g, 3, 77)
+    assert gp.n == 131

@@ -1,0 +1,21 @@
+"""EXP-T3 — Theorem 3 / Figure 2: the triangle reduction."""
+
+from repro.analysis import exp_theorem3_triangle, format_table
+from repro.graphs.generators import random_bipartite
+from repro.reductions import OracleTriangleDetector, TriangleReduction, triangle_gadget
+
+
+def test_triangle_reduction_global_n8(benchmark, write_result):
+    g = random_bipartite(4, 4, 0.4, seed=5)
+    delta = TriangleReduction(OracleTriangleDetector())
+    msgs = delta.message_vector(g)
+    out = benchmark(delta.global_, g.n, msgs)
+    assert out == g
+    title, headers, rows = exp_theorem3_triangle()
+    write_result("EXP-T3", format_table(title, headers, rows))
+
+
+def test_triangle_gadget_construction(benchmark):
+    g = random_bipartite(64, 64, 0.1, seed=6)
+    gp = benchmark(triangle_gadget, g, 3, 100)
+    assert gp.n == 129

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module both *times* its experiment's hot path with
+pytest-benchmark and *regenerates* the experiment's table, writing it to
+``benchmarks/results/<EXP-ID>.txt`` so `pytest benchmarks/ --benchmark-only`
+leaves the full paper-vs-measured record on disk (EXPERIMENTS.md quotes
+these files).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Write an experiment table to benchmarks/results/<exp_id>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(exp_id: str, text: str) -> None:
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
+
+    return _write

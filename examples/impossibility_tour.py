@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's impossibility machinery (Section II).
+
+Three stops:
+
+1. **The gadgets** — build Figure 1's and Figure 2's G'_{s,t} and watch the
+   iff-property (diameter <= 3 / triangle exists ⇔ {s,t} is an edge).
+2. **The reductions, run for real** — plug a correct-but-non-frugal oracle
+   detector into Algorithm 1/2 and watch the derived protocol reconstruct a
+   graph it never saw, edge by edge.
+3. **The counting wall** — the Lemma 1 table showing why the reconstructors
+   built in step 2 cannot be frugal: the families are just too big.
+
+Run:  python examples/impossibility_tour.py
+"""
+
+import math
+
+from repro.analysis import exp_lemma1_counting, format_table
+from repro.graphs import diameter, has_square, has_triangle
+from repro.graphs.families import figure1_base, figure2_base
+from repro.graphs.generators import random_square_free
+from repro.reductions import (
+    DiameterReduction,
+    OracleDiameterDetector,
+    OracleSquareDetector,
+    SquareReduction,
+    diameter_gadget,
+    triangle_gadget,
+)
+
+
+def stop_1_gadgets() -> None:
+    print("== Stop 1: the G'_{s,t} gadgets (Figures 1 and 2) ==")
+    g = figure1_base()
+    for s, t in [(1, 2), (1, 7)]:
+        gp = diameter_gadget(g, s, t)
+        print(f"  Figure 1 gadget for (s,t)=({s},{t}): edge={g.has_edge(s, t)}, "
+              f"diam(G') = {diameter(gp):.0f}  (<=3 iff edge)")
+    g2 = figure2_base()
+    for s, t in [(2, 7), (1, 7)]:
+        gp = triangle_gadget(g2, s, t)
+        print(f"  Figure 2 gadget for (s,t)=({s},{t}): edge={g2.has_edge(s, t)}, "
+              f"triangle in G' = {has_triangle(gp)}  (iff edge)")
+    print()
+
+
+def stop_2_reductions() -> None:
+    print("== Stop 2: running Algorithms 1 and 2 against oracle detectors ==")
+    g = random_square_free(9, 0.3, seed=5)
+    assert not has_square(g)
+    delta = SquareReduction(OracleSquareDetector())
+    rebuilt = delta.reconstruct(g)
+    print(f"  Theorem 1: square detector -> reconstructed {rebuilt.m}-edge "
+          f"square-free graph exactly: {rebuilt == g}")
+    print(f"             Δ message = {delta.max_message_bits(g)} bits "
+          f"= Γ's k(2n) with k(n)=n (oracle)")
+
+    g = figure1_base()
+    delta2 = DiameterReduction(OracleDiameterDetector(3))
+    rebuilt2 = delta2.reconstruct(g)
+    print(f"  Theorem 2: diameter<=3 detector -> reconstructed ARBITRARY graph "
+          f"exactly: {rebuilt2 == g}")
+    print(f"             Δ message = {delta2.max_message_bits(g)} bits "
+          f"≈ 3·k(n+3) + framing")
+    print()
+
+
+def stop_3_counting_wall() -> None:
+    print("== Stop 3: the Lemma 1 counting wall ==")
+    title, headers, rows = exp_lemma1_counting(ns=(4, 5, 6, 64, 1024, 4096))
+    print(format_table(title, headers, rows))
+    print("  Reading: once log2(family) exceeds the capacity column, no frugal")
+    print("  one-round protocol can reconstruct that family — so the detectors")
+    print("  fed to Algorithms 1-2 in Stop 2 cannot be frugal either.")
+    n = 4096
+    gap = (n * n / 2 - 1) / (4 * n * math.log2(n))
+    print(f"  At n={n}, all-graphs overshoot a 4-log-unit budget by ~{gap:,.0f}x.")
+
+
+def main() -> None:
+    stop_1_gadgets()
+    stop_2_reductions()
+    stop_3_counting_wall()
+
+
+if __name__ == "__main__":
+    main()

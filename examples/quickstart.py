@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: reconstruct a planar network from one round of frugal messages.
+
+The headline result of Becker et al. (IPDPS 2011): graphs of degeneracy at
+most k — planar graphs have degeneracy <= 5 — can be *fully reconstructed*
+by a referee that receives just one O(k² log n)-bit message from each node,
+where a node knows nothing but its own ID, its neighbours' IDs, and n.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DegeneracyReconstructionProtocol, Referee
+from repro.graphs import degeneracy
+from repro.graphs.generators import random_planar
+from repro.model import log2_ceil
+
+
+def main() -> None:
+    # A random planar network on 120 nodes (thinned Apollonian triangulation).
+    g = random_planar(120, keep_prob=0.8, seed=42)
+    print(f"network: n={g.n} nodes, m={g.m} links, degeneracy={degeneracy(g)}")
+
+    # Every node runs the same local function; the referee decodes.
+    protocol = DegeneracyReconstructionProtocol(k=5)
+    report = Referee().run(protocol, g)
+
+    reconstructed = report.output
+    print(f"reconstruction exact: {reconstructed == g}")
+    print(f"max message size:     {report.max_message_bits} bits "
+          f"(= {report.max_message_bits / log2_ceil(g.n):.1f} x log2(n))")
+    print(f"total traffic:        {report.total_message_bits} bits for the whole round")
+    print(f"local phase:          {report.local_seconds * 1e3:.1f} ms, "
+          f"global phase: {report.global_seconds * 1e3:.1f} ms")
+
+    # Contrast: sending raw neighbour lists would need Θ(deg · log n) bits —
+    # unbounded for hubs. The power-sum trick caps every node at O(k² log n):
+    hub_degree = max(g.degrees())
+    naive_bits = (hub_degree + 1) * log2_ceil(g.n)
+    print(f"worst hub degree {hub_degree}: naive neighbourhood dump would be "
+          f"~{naive_bits} bits; power sums use {report.max_message_bits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — the referee model of Becker, Matamala, Nisse, Rapaport, Suchan &
+Todinca, *"Adding a referee to an interconnection network: What can(not) be
+computed in one round"* (IPDPS 2011), as a runnable Python library.
+
+The package simulates the paper's model — every node of a labelled graph
+sends one ``O(log n)``-bit message to a central referee — and implements,
+from scratch, everything the paper builds on it:
+
+* the **degeneracy-k reconstruction protocol** (power sums + referee-side
+  pruning; Algorithms 3–4, Theorem 5), its forest special case, recognition
+  variant, and generalized-degeneracy extension;
+* the **impossibility reductions** for squares, triangles, and diameter
+  (Theorems 1–3) as executable protocol transformers, with the counting
+  bound (Lemma 1) and an adversarial collision search;
+* the conclusion's **partition connectivity** scheme and — answering the
+  paper's main open question with the technique the field later adopted —
+  **AGM linear-sketch connectivity** in one round and in the multi-round
+  variant.
+
+Quickstart::
+
+    from repro import LabeledGraph, DegeneracyReconstructionProtocol, Referee
+    from repro.graphs.generators import random_planar
+
+    g = random_planar(64, seed=1)            # planar => degeneracy <= 5
+    protocol = DegeneracyReconstructionProtocol(k=5)
+    report = Referee().run(protocol, g)
+    assert report.output == g                # exact reconstruction
+    print(report.max_message_bits, "bits/node")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record; ``python -m repro list`` enumerates the runnable
+experiments.
+"""
+
+from repro.errors import (
+    ReproError,
+    BitstreamError,
+    CodecError,
+    GraphError,
+    ProtocolError,
+    FrugalityViolation,
+    DecodeError,
+    RecognitionFailure,
+    SketchFailure,
+)
+from repro.graphs import LabeledGraph, degeneracy
+from repro.model import (
+    Message,
+    OneRoundProtocol,
+    DecisionProtocol,
+    ReconstructionProtocol,
+    Referee,
+    RunReport,
+    FrugalityAuditor,
+    MultiRoundReferee,
+)
+from repro.protocols import (
+    DegeneracyReconstructionProtocol,
+    DegeneracyRecognitionProtocol,
+    ForestReconstructionProtocol,
+    GeneralizedDegeneracyProtocol,
+    BoundedDegreeProtocol,
+    PartitionConnectivityProtocol,
+)
+from repro.reductions import SquareReduction, DiameterReduction, TriangleReduction
+from repro.sketching import AGMConnectivityProtocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "BitstreamError",
+    "CodecError",
+    "GraphError",
+    "ProtocolError",
+    "FrugalityViolation",
+    "DecodeError",
+    "RecognitionFailure",
+    "SketchFailure",
+    "LabeledGraph",
+    "degeneracy",
+    "Message",
+    "OneRoundProtocol",
+    "DecisionProtocol",
+    "ReconstructionProtocol",
+    "Referee",
+    "RunReport",
+    "FrugalityAuditor",
+    "MultiRoundReferee",
+    "DegeneracyReconstructionProtocol",
+    "DegeneracyRecognitionProtocol",
+    "ForestReconstructionProtocol",
+    "GeneralizedDegeneracyProtocol",
+    "BoundedDegreeProtocol",
+    "PartitionConnectivityProtocol",
+    "SquareReduction",
+    "DiameterReduction",
+    "TriangleReduction",
+    "AGMConnectivityProtocol",
+]

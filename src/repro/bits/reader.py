@@ -1,0 +1,78 @@
+"""Cursor-based bit stream reader, the dual of :class:`~repro.bits.writer.BitWriter`."""
+
+from __future__ import annotations
+
+from repro.errors import BitstreamUnderflow, CodecError
+
+__all__ = ["BitReader"]
+
+
+class BitReader:
+    """Reads bits MSB-first from a stream produced by :class:`BitWriter`.
+
+    Construct either from ``(acc, nbits)`` as returned by
+    :meth:`BitWriter.to_int`, or from ``bytes`` (in which case the bit count
+    is ``8 * len(data)`` unless ``nbits`` is given explicitly to trim the
+    right-padding added by :meth:`BitWriter.to_bytes`).
+    """
+
+    __slots__ = ("_acc", "_nbits", "_pos")
+
+    def __init__(self, data: bytes | int, nbits: int | None = None) -> None:
+        if isinstance(data, bytes):
+            acc = int.from_bytes(data, "big")
+            total = 8 * len(data)
+            if nbits is not None:
+                if nbits > total or nbits < 0:
+                    raise CodecError(f"nbits {nbits} out of range for {len(data)} bytes")
+                acc >>= total - nbits
+                total = nbits
+        else:
+            if nbits is None:
+                raise CodecError("nbits is required when constructing from an int")
+            if nbits < 0 or (nbits == 0 and data != 0) or (data >> nbits):
+                raise CodecError(f"value does not fit in {nbits} bits")
+            acc = data
+            total = nbits
+        self._acc = acc
+        self._nbits = total
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return self._nbits - self._pos
+
+    @property
+    def position(self) -> int:
+        """Bits consumed so far."""
+        return self._pos
+
+    def read_bit(self) -> int:
+        """Read and return the next bit."""
+        return self.read_bits(1)
+
+    def read_bits(self, width: int) -> int:
+        """Read the next ``width`` bits as a non-negative integer."""
+        if width < 0:
+            raise CodecError(f"width must be >= 0, got {width}")
+        if width > self.remaining:
+            raise BitstreamUnderflow(
+                f"requested {width} bits but only {self.remaining} remain"
+            )
+        shift = self._nbits - self._pos - width
+        value = (self._acc >> shift) & ((1 << width) - 1)
+        self._pos += width
+        return value
+
+    def expect_exhausted(self) -> None:
+        """Raise :class:`CodecError` unless every bit has been consumed.
+
+        Decoders call this to catch framing bugs: a well-formed message is
+        read exactly once with nothing left over.
+        """
+        if self.remaining:
+            raise CodecError(f"{self.remaining} unread bits remain in stream")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitReader(pos={self._pos}, nbits={self._nbits})"

@@ -1,0 +1,84 @@
+"""Append-only bit stream builder.
+
+A :class:`BitWriter` accumulates bits most-significant-bit first into an
+arbitrary-precision integer.  This is the fastest pure-Python representation
+for the write-once / read-once messages exchanged in the referee model:
+appending ``w`` bits is one shift and one or, and the finished stream
+converts to bytes in a single call.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+
+__all__ = ["BitWriter"]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first; the unit of message construction.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write_bits(0b101, 3)
+    >>> w.write_bit(1)
+    >>> len(w)
+    4
+    >>> w.to_bytes().hex()
+    'b0'
+    """
+
+    __slots__ = ("_acc", "_nbits")
+
+    def __init__(self) -> None:
+        self._acc = 0
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    @property
+    def bits(self) -> int:
+        """Number of bits written so far (alias for ``len``)."""
+        return self._nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise CodecError(f"bit must be 0 or 1, got {bit!r}")
+        self._acc = (self._acc << 1) | bit
+        self._nbits += 1
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``value`` as exactly ``width`` bits, MSB first.
+
+        ``value`` must be a non-negative integer fitting in ``width`` bits.
+        ``width == 0`` is allowed only for ``value == 0`` and appends nothing.
+        """
+        if width < 0:
+            raise CodecError(f"width must be >= 0, got {width}")
+        if value < 0:
+            raise CodecError(f"value must be >= 0, got {value}")
+        if value >> width:
+            raise CodecError(f"value {value} does not fit in {width} bits")
+        self._acc = (self._acc << width) | value
+        self._nbits += width
+
+    def write_writer(self, other: "BitWriter") -> None:
+        """Append the full contents of another writer."""
+        self._acc = (self._acc << other._nbits) | other._acc
+        self._nbits += other._nbits
+
+    def to_int(self) -> tuple[int, int]:
+        """Return ``(acc, nbits)`` — the raw integer and the bit count."""
+        return self._acc, self._nbits
+
+    def to_bytes(self) -> bytes:
+        """Return the stream as bytes, zero-padded on the right to a byte boundary."""
+        nbytes = (self._nbits + 7) // 8
+        pad = nbytes * 8 - self._nbits
+        return (self._acc << pad).to_bytes(nbytes, "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitWriter(bits={self._nbits})"

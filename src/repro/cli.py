@@ -1,0 +1,54 @@
+"""Command-line interface: regenerate any experiment table.
+
+Usage::
+
+    python -m repro list            # show experiment IDs and docstrings
+    python -m repro EXP-L2          # run one experiment, print its table
+    python -m repro all             # run every experiment
+
+The same tables are written by ``pytest benchmarks/`` into
+``benchmarks/results/``; the CLI is for interactive spelunking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import EXPERIMENTS, format_table
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for Becker et al., 'Adding a referee "
+        "to an interconnection network' (IPDPS 2011).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment ID (e.g. EXP-T5), 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:12s} {doc}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        title, headers, rows = EXPERIMENTS[exp_id]()
+        print(format_table(title, headers, rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

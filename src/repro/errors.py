@@ -1,0 +1,91 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the simulator can catch one type.  Sub-hierarchies mirror
+the package layout: bit-level codec failures, graph-construction failures,
+protocol/model violations, and decode failures on the referee side.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BitstreamError",
+    "BitstreamUnderflow",
+    "CodecError",
+    "GraphError",
+    "InvalidVertexError",
+    "NotInFamilyError",
+    "ProtocolError",
+    "FrugalityViolation",
+    "DecodeError",
+    "RecognitionFailure",
+    "SketchFailure",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BitstreamError(ReproError):
+    """Base class for bit-level I/O errors."""
+
+
+class BitstreamUnderflow(BitstreamError):
+    """Raised when a read requests more bits than the stream contains."""
+
+
+class CodecError(BitstreamError):
+    """Raised when an integer code cannot encode/decode the given value."""
+
+
+class GraphError(ReproError):
+    """Base class for labelled-graph construction and query errors."""
+
+
+class InvalidVertexError(GraphError):
+    """Raised when a vertex ID is outside ``1..n`` or an edge is invalid."""
+
+
+class NotInFamilyError(GraphError):
+    """Raised when a graph violates a family precondition (e.g. degeneracy > k)."""
+
+
+class ProtocolError(ReproError):
+    """Base class for model-level violations (wrong message count, etc.)."""
+
+
+class FrugalityViolation(ProtocolError):
+    """Raised by the auditor when a message exceeds the frugality budget."""
+
+    def __init__(self, message: str, *, vertex: int | None = None, bits: int | None = None, budget: int | None = None):
+        super().__init__(message)
+        self.vertex = vertex
+        self.bits = bits
+        self.budget = budget
+
+
+class DecodeError(ProtocolError):
+    """Raised when the referee cannot decode the received messages."""
+
+
+class RecognitionFailure(DecodeError):
+    """Raised by recognition protocols when the input graph is rejected.
+
+    Carries the set of vertices that remained unprunable, which is the
+    witness Algorithm 4 produces when the degeneracy bound fails.
+    """
+
+    def __init__(self, message: str, *, stuck_vertices: frozenset[int] = frozenset()):
+        super().__init__(message)
+        self.stuck_vertices = stuck_vertices
+
+
+class SketchFailure(ReproError):
+    """Raised when a randomized sketch fails to produce a sample.
+
+    AGM-style connectivity sketches are Monte Carlo; callers either retry
+    with fresh randomness or accept one-sided error.  The failure is
+    surfaced explicitly rather than returning a wrong answer silently.
+    """

@@ -1,0 +1,221 @@
+"""Counting labelled graph families — the arithmetic behind Lemma 1.
+
+Lemma 1 says a family reconstructible by a frugal one-round protocol has at
+most ``2^{O(n log n)}`` members on ``n`` vertices.  The impossibility proofs
+then exhibit families that are *too big*: all graphs (``2^{C(n,2)}``,
+Theorem 2), bipartite graphs with fixed parts (``2^{(n/2)^2}``, Theorem 3),
+and square-free graphs (``2^{Θ(n^{3/2})}`` by Kleitman–Winston, Theorem 1).
+
+This module provides exact counts (closed forms where they exist, exhaustive
+enumeration otherwise — vectorized with numpy up to n = 7), and the capacity
+bound they are compared against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterator
+from functools import lru_cache
+from itertools import combinations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.labeled import LabeledGraph
+
+__all__ = [
+    "labeled_graph_count",
+    "connected_graph_count",
+    "labeled_tree_count",
+    "labeled_forest_count",
+    "bipartite_fixed_parts_count",
+    "enumerate_labeled_graphs",
+    "count_graphs_satisfying",
+    "count_square_free",
+    "count_triangle_free",
+    "frugal_capacity_bits",
+    "zarankiewicz_lower_bound",
+    "MAX_ENUM_N",
+]
+
+MAX_ENUM_N = 7
+"""Largest n for which exhaustive enumeration is allowed (2^21 graphs)."""
+
+
+def labeled_graph_count(n: int) -> int:
+    """Number of labelled graphs on ``n`` vertices: ``2^C(n,2)``."""
+    return 1 << math.comb(n, 2)
+
+
+@lru_cache(maxsize=None)
+def _connected_counts_up_to(n: int) -> tuple[int, ...]:
+    """Bottom-up table of connected labelled graph counts C(0..n)."""
+    counts = [1, 1]
+    for m in range(2, n + 1):
+        total = labeled_graph_count(m)
+        for k in range(1, m):
+            total -= math.comb(m - 1, k - 1) * counts[k] * labeled_graph_count(m - k)
+        counts.append(total)
+    return tuple(counts[: n + 1])
+
+
+def connected_graph_count(n: int) -> int:
+    """Number of connected labelled graphs (OEIS A001187) via the standard recurrence.
+
+    ``C(n) = 2^C(n,2) - Σ_{k=1}^{n-1} binom(n-1, k-1) C(k) 2^C(n-k, 2)``
+    (split off the component of vertex 1).  Computed bottom-up so large n
+    does not recurse.
+    """
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got {n}")
+    return _connected_counts_up_to(n)[n]
+
+
+def labeled_tree_count(n: int) -> int:
+    """Cayley's formula ``n^{n-2}`` (1 for n in {0, 1, 2} degenerate cases)."""
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got {n}")
+    if n <= 2:
+        return 1
+    return n ** (n - 2)
+
+
+@lru_cache(maxsize=None)
+def _forest_counts_up_to(n: int) -> tuple[int, ...]:
+    """Bottom-up table of labelled forest counts F(0..n)."""
+    counts = [1]
+    for m in range(1, n + 1):
+        counts.append(
+            sum(
+                math.comb(m - 1, k - 1) * labeled_tree_count(k) * counts[m - k]
+                for k in range(1, m + 1)
+            )
+        )
+    return tuple(counts)
+
+
+def labeled_forest_count(n: int) -> int:
+    """Number of labelled forests (OEIS A001858).
+
+    Recurrence on the component of vertex ``n``:
+    ``F(n) = Σ_{k=1}^{n} binom(n-1, k-1) T(k) F(n-k)`` with ``T`` Cayley's
+    tree count, computed bottom-up.  (The degeneracy-1 family: Lemma 1
+    predicts — and the table confirms — ``log2 F(n) = O(n log n)``,
+    consistent with forests being reconstructible, Section III.A.)
+    """
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got {n}")
+    return _forest_counts_up_to(n)[n]
+
+
+def bipartite_fixed_parts_count(n: int) -> int:
+    """Bipartite graphs with parts ``{1..n/2}`` and ``{n/2+1..n}``: ``2^{(n/2)·(n - n/2)}``.
+
+    This is Theorem 3's family (the paper takes n even; we allow odd n with
+    the floor/ceil split).
+    """
+    a = n // 2
+    return 1 << (a * (n - a))
+
+
+def enumerate_labeled_graphs(n: int, *, max_n: int = MAX_ENUM_N) -> Iterator[LabeledGraph]:
+    """Yield every labelled graph on ``n`` vertices (``2^C(n,2)`` of them).
+
+    Guarded by ``max_n`` so a typo cannot start a year-long loop.
+    """
+    if n > max_n:
+        raise GraphError(f"refusing to enumerate 2^{math.comb(n, 2)} graphs (n={n} > max_n={max_n})")
+    pairs = list(combinations(range(1, n + 1), 2))
+    for mask in range(1 << len(pairs)):
+        yield LabeledGraph(n, (pairs[i] for i in range(len(pairs)) if mask >> i & 1))
+
+
+def count_graphs_satisfying(
+    n: int, predicate: Callable[[LabeledGraph], bool], *, max_n: int = MAX_ENUM_N
+) -> int:
+    """Exhaustively count labelled graphs on ``n`` vertices satisfying ``predicate``."""
+    return sum(1 for g in enumerate_labeled_graphs(n, max_n=max_n) if predicate(g))
+
+
+def _pair_bit_arrays(n: int) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """All graphs on n vertices as rows of edge-indicator bits, vectorized.
+
+    Returns ``(pairs, bits)`` where ``bits[g, e]`` is 1 iff graph ``g``
+    contains edge ``pairs[e]``.  Memory: ``2^C(n,2) * C(n,2)`` bytes
+    (2M x 21 = 44 MB for n = 7).
+    """
+    pairs = list(combinations(range(1, n + 1), 2))
+    ne = len(pairs)
+    masks = np.arange(1 << ne, dtype=np.uint32)
+    bits = np.empty((1 << ne, ne), dtype=np.uint8)
+    for e in range(ne):
+        bits[:, e] = (masks >> e) & 1
+    return pairs, bits
+
+
+def count_square_free(n: int) -> int:
+    """Exact number of labelled C4-free graphs on ``n <= MAX_ENUM_N`` vertices.
+
+    Vectorized: a C4 exists iff some vertex pair has >= 2 common neighbours;
+    for every pair (u, v) we sum, over w, the AND of edge bits (u,w), (v,w).
+    """
+    if n > MAX_ENUM_N:
+        raise GraphError(f"exact square-free count limited to n <= {MAX_ENUM_N}")
+    if n < 4:
+        return labeled_graph_count(n)
+    pairs, bits = _pair_bit_arrays(n)
+    eidx = {p: i for i, p in enumerate(pairs)}
+
+    def e(u: int, v: int) -> int:
+        return eidx[(u, v) if u < v else (v, u)]
+
+    has_square = np.zeros(bits.shape[0], dtype=bool)
+    for u, v in pairs:
+        common = np.zeros(bits.shape[0], dtype=np.uint8)
+        for w in range(1, n + 1):
+            if w != u and w != v:
+                common += bits[:, e(u, w)] & bits[:, e(v, w)]
+        has_square |= common >= 2
+    return int((~has_square).sum())
+
+
+def count_triangle_free(n: int) -> int:
+    """Exact number of labelled triangle-free graphs on ``n <= MAX_ENUM_N`` vertices."""
+    if n > MAX_ENUM_N:
+        raise GraphError(f"exact triangle-free count limited to n <= {MAX_ENUM_N}")
+    if n < 3:
+        return labeled_graph_count(n)
+    pairs, bits = _pair_bit_arrays(n)
+    eidx = {p: i for i, p in enumerate(pairs)}
+    has_triangle = np.zeros(bits.shape[0], dtype=bool)
+    for a, b, c in combinations(range(1, n + 1), 3):
+        has_triangle |= (
+            (bits[:, eidx[(a, b)]] & bits[:, eidx[(b, c)]] & bits[:, eidx[(a, c)]]) == 1
+        )
+    return int((~has_triangle).sum())
+
+
+def frugal_capacity_bits(n: int, k_const: float) -> float:
+    """Lemma 1's capacity: total bits a frugal protocol delivers, ``k · n · log2 n``.
+
+    A family with ``log2 g(n)`` above this for every constant ``k_const``
+    (as n grows) cannot be reconstructed in one frugal round.
+    """
+    if n < 1:
+        raise GraphError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return 0.0
+    return k_const * n * math.log2(n)
+
+
+def zarankiewicz_lower_bound(n: int) -> float:
+    """A lower bound on ``log2 #(C4-free graphs on n vertices)``.
+
+    The Kővári–Sós–Turán / Erdős–Rényi–Sós extremal C4-free graph has
+    ``ex(n; C4) >= (1/2)(n^{3/2} - n)`` edges for suitable n (polarity graphs
+    achieve ~ (1/2) n^{3/2}); every subgraph of a C4-free graph is C4-free,
+    so the count is at least ``2^{ex}``.  We use the conservative
+    ``(1/2)(n^{3/2} - n)`` floor — enough to dominate ``k n log n``
+    (Kleitman–Winston's ``2^{Θ(n^{3/2})}``, the paper's citation [9]).
+    """
+    return max(0.0, 0.5 * (n**1.5 - n))

@@ -1,0 +1,64 @@
+"""Fixed named graph instances used by tests, examples, and the figure experiments.
+
+The paper's Figures 1 and 2 illustrate the reduction gadgets on a 7-vertex
+base graph G (circled vertices 1..7) extended with gadget vertices.  The
+published PDF does not list the figure's edge set in machine-readable form,
+so :func:`figure1_base` / :func:`figure2_base` provide representative
+7-vertex instances with the properties the captions rely on (Figure 1's G is
+an arbitrary connected graph where edge (1,7) is queried; Figure 2's G is
+bipartite and edge (2,7) is queried); the experiments then check the gadget
+iff-property over *all* vertex pairs, which subsumes the figure.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.labeled import LabeledGraph
+
+__all__ = ["petersen", "figure1_base", "figure2_base", "bull", "paw", "kite"]
+
+
+def petersen() -> LabeledGraph:
+    """The Petersen graph: 3-regular, girth 5 (so square- and triangle-free)."""
+    outer = [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]
+    spokes = [(i, i + 5) for i in range(1, 6)]
+    inner = [(6, 8), (8, 10), (10, 7), (7, 9), (9, 6)]
+    return LabeledGraph(10, outer + spokes + inner)
+
+
+def figure1_base() -> LabeledGraph:
+    """A connected 7-vertex graph standing in for Figure 1's G.
+
+    Edge (1, 7) is absent so the diameter gadget demo can show both branches
+    of "diam(G'_{s,t}) <= 3 iff {s,t} in E" by also querying a present edge.
+    """
+    return LabeledGraph(
+        7,
+        [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (2, 5), (3, 6), (1, 4)],
+    )
+
+
+def figure2_base() -> LabeledGraph:
+    """A bipartite 7-vertex graph standing in for Figure 2's G.
+
+    Parts {1, 2, 3} and {4, 5, 6, 7}; edge (2, 7) present, edge (1, 7)
+    absent, so the triangle gadget demo can exercise both branches.
+    """
+    return LabeledGraph(
+        7,
+        [(1, 4), (1, 5), (2, 5), (2, 6), (2, 7), (3, 4), (3, 6)],
+    )
+
+
+def bull() -> LabeledGraph:
+    """The bull: a triangle with two pendant horns (degeneracy 2)."""
+    return LabeledGraph(5, [(1, 2), (2, 3), (1, 3), (1, 4), (2, 5)])
+
+
+def paw() -> LabeledGraph:
+    """The paw: a triangle with one pendant (smallest graph with a triangle and a leaf)."""
+    return LabeledGraph(4, [(1, 2), (2, 3), (1, 3), (3, 4)])
+
+
+def kite() -> LabeledGraph:
+    """The kite/diamond-plus-tail: contains both a triangle and a square."""
+    return LabeledGraph(5, [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (4, 5)])

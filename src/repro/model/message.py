@@ -1,0 +1,83 @@
+"""The message type: an immutable bit string with an exact size.
+
+The referee model's only resource is message length, so a message *is* its
+bits — there is no out-of-band structure.  Protocols build messages with
+:class:`~repro.bits.writer.BitWriter` and parse them with
+:class:`~repro.bits.reader.BitReader`; the referee simulator and the
+frugality auditor read only :attr:`Message.bits`.
+
+Messages compare equal by content, which is what the adversarial collision
+search (EXP-ADV) needs: two graphs are indistinguishable to the referee iff
+their message *vectors* are equal.
+"""
+
+from __future__ import annotations
+
+from repro.bits.reader import BitReader
+from repro.bits.writer import BitWriter
+
+__all__ = ["Message"]
+
+
+class Message:
+    """An immutable bit string sent by one node to the referee in one round."""
+
+    __slots__ = ("_acc", "_nbits")
+
+    def __init__(self, acc: int, nbits: int) -> None:
+        if nbits < 0 or (acc >> nbits if nbits else acc):
+            from repro.errors import CodecError
+
+            raise CodecError(f"acc does not fit in {nbits} bits")
+        self._acc = acc
+        self._nbits = nbits
+
+    @classmethod
+    def from_writer(cls, writer: BitWriter) -> "Message":
+        """Freeze a writer's contents into a message."""
+        return cls(*writer.to_int())
+
+    @classmethod
+    def empty(cls) -> "Message":
+        """The zero-bit message (what a protocol that ignores a node sends)."""
+        return cls(0, 0)
+
+    @property
+    def bits(self) -> int:
+        """Exact length in bits — the audited resource."""
+        return self._nbits
+
+    @property
+    def acc(self) -> int:
+        """The raw payload as an integer (MSB-first)."""
+        return self._acc
+
+    def reader(self) -> BitReader:
+        """A fresh cursor over the message contents."""
+        return BitReader(self._acc, self._nbits)
+
+    def concat(self, other: "Message") -> "Message":
+        """Concatenation — used by reductions that send tuples of Γ-messages.
+
+        The paper's Theorems 2–3 build Δ-messages as pairs/triples of
+        Γ-messages; the bit cost is additive, matching "twice/three times
+        as big as those of Γ".  Self-delimiting framing is the caller's
+        concern (our reductions store a length prefix).
+        """
+        return Message((self._acc << other._nbits) | other._acc, self._nbits + other._nbits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self._acc == other._acc and self._nbits == other._nbits
+
+    def __hash__(self) -> int:
+        return hash((self._acc, self._nbits))
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    def __repr__(self) -> str:
+        if self._nbits <= 32:
+            return f"Message({self._acc:0{self._nbits}b})" if self._nbits else "Message(<empty>)"
+        return f"Message(bits={self._nbits})"

@@ -1,0 +1,134 @@
+"""Multi-round extension of the referee model.
+
+The paper's conclusion asks: "can we decide more properties by allowing more
+rounds?"  In the underlying CONGEST network ``G̃ = G + v_0`` every round lets
+each node exchange one ``O(log n)`` message with each neighbour — so the
+referee (adjacent to everyone) may send *each node its own* feedback message
+between rounds, and nodes may also talk to their graph neighbours.  This
+module implements the referee<->nodes half, which is what the multi-round
+connectivity protocol (``repro.sketching.multiround``) needs; node-to-node
+exchange can be layered on by protocols that include neighbour payloads in
+their state.
+
+Contract per round ``r = 0..R-1``:
+
+1. every node ``i`` computes ``node_step(n, i, N(i), r, inbox_i)`` where
+   ``inbox_i`` is the referee's message to ``i`` from the previous round
+   (``Message.empty()`` in round 0);
+2. the referee computes ``referee_step(n, r, messages)`` returning either
+   ``("continue", outboxes)`` with one message per node, or
+   ``("output", value)`` to terminate early.
+
+Frugality of a multi-round protocol is per-round: every node→referee and
+referee→node message must individually be ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.graphs.labeled import LabeledGraph
+from repro.model.message import Message
+
+__all__ = ["MultiRoundProtocol", "MultiRoundReferee", "MultiRoundReport"]
+
+
+class MultiRoundProtocol(ABC):
+    """An R-round protocol with per-node referee feedback."""
+
+    name: str = "multiround-protocol"
+
+    @abstractmethod
+    def rounds(self, n: int) -> int:
+        """Maximum number of communication rounds on n-vertex graphs."""
+
+    @abstractmethod
+    def node_step(
+        self, n: int, i: int, neighborhood: frozenset[int], round_idx: int, inbox: Message
+    ) -> Message:
+        """Node ``i``'s message in round ``round_idx`` given referee feedback."""
+
+    @abstractmethod
+    def referee_step(
+        self, n: int, round_idx: int, messages: list[Message]
+    ) -> tuple[str, Any]:
+        """Referee's move: ``("continue", [outbox_1..outbox_n])`` or ``("output", value)``."""
+
+
+@dataclass(frozen=True)
+class MultiRoundReport:
+    """Resource usage of a multi-round run."""
+
+    protocol: str
+    n: int
+    output: Any
+    rounds_used: int
+    max_node_message_bits: int
+    max_referee_message_bits: int
+    total_bits: int
+
+
+class MultiRoundReferee:
+    """Drives a :class:`MultiRoundProtocol` on a graph."""
+
+    def __init__(self, *, budget_bits: int | None = None) -> None:
+        #: optional per-message hard cap (applies to both directions)
+        self.budget_bits = budget_bits
+
+    def run(self, protocol: MultiRoundProtocol, g: LabeledGraph) -> MultiRoundReport:
+        n = g.n
+        max_rounds = protocol.rounds(n)
+        if max_rounds < 1:
+            raise ProtocolError(f"{protocol.name}: rounds() must be >= 1, got {max_rounds}")
+        inboxes = [Message.empty() for _ in range(n)]
+        max_node_bits = 0
+        max_ref_bits = 0
+        total = 0
+        for r in range(max_rounds):
+            messages = []
+            for i in g.vertices():
+                msg = protocol.node_step(n, i, g.neighbors(i), r, inboxes[i - 1])
+                self._check(protocol, msg, f"node {i} round {r}")
+                max_node_bits = max(max_node_bits, msg.bits)
+                total += msg.bits
+                messages.append(msg)
+            verdict, payload = protocol.referee_step(n, r, messages)
+            if verdict == "output":
+                return MultiRoundReport(
+                    protocol=protocol.name,
+                    n=n,
+                    output=payload,
+                    rounds_used=r + 1,
+                    max_node_message_bits=max_node_bits,
+                    max_referee_message_bits=max_ref_bits,
+                    total_bits=total,
+                )
+            if verdict != "continue":
+                raise ProtocolError(f"{protocol.name}: bad referee verdict {verdict!r}")
+            outboxes = payload
+            if len(outboxes) != n:
+                raise ProtocolError(
+                    f"{protocol.name}: referee must send one message per node "
+                    f"({len(outboxes)} != {n})"
+                )
+            for i, msg in enumerate(outboxes, start=1):
+                self._check(protocol, msg, f"referee->node {i} round {r}")
+                max_ref_bits = max(max_ref_bits, msg.bits)
+                total += msg.bits
+            inboxes = outboxes
+        raise ProtocolError(
+            f"{protocol.name}: exhausted {max_rounds} rounds without producing output"
+        )
+
+    def _check(self, protocol: MultiRoundProtocol, msg: Message, where: str) -> None:
+        if self.budget_bits is not None and msg.bits > self.budget_bits:
+            from repro.errors import FrugalityViolation
+
+            raise FrugalityViolation(
+                f"{protocol.name}: {where} sent {msg.bits} bits, budget {self.budget_bits}",
+                bits=msg.bits,
+                budget=self.budget_bits,
+            )

@@ -1,0 +1,167 @@
+"""Algorithm 4 / Theorem 5: one-round frugal reconstruction of degeneracy-≤k graphs.
+
+Local phase: every node sends Algorithm 3's ``(ID, deg, b_1..b_k)`` —
+``O(k² log n)`` bits (Lemma 2).
+
+Global phase (Algorithm 4): the referee keeps, per vertex, its *current*
+degree and power sums — i.e. those of the subgraph induced by not-yet-pruned
+vertices.  It repeatedly takes any vertex ``x`` of current degree ≤ k,
+decodes its current neighbourhood (Theorem 4: unique), records those edges,
+and "removes" ``x`` by decrementing each neighbour's degree and subtracting
+``ID(x)^p`` from its ``p``-th power sum.  A degeneracy-≤k graph always
+offers a prunable vertex, so the loop terminates with the exact graph; the
+elimination order is *discovered* by the referee, never transmitted.
+
+The recognition variant is the paper's closing remark of Section III: reject
+iff the pruning process ever finds no vertex of degree ≤ k.
+
+Complexity: with a min-degree worklist the loop body is ``O(decode + k·deg)``;
+with the Newton decoder each decode is ``O(n·k)``, giving ``O(n²k)`` total,
+the paper's ``O(n²)`` for fixed k.  A prebuilt
+:class:`~repro.protocols.powersum.PowerSumLookupTable` makes decodes
+``O(k)`` dictionary work instead.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError, GraphError, RecognitionFailure
+from repro.graphs.labeled import LabeledGraph
+from repro.model.message import Message
+from repro.model.protocol import DecisionProtocol, ReconstructionProtocol
+from repro.protocols.powersum import (
+    PowerSumLookupTable,
+    decode_neighborhood_newton,
+    decode_powersum_message,
+    encode_powersum_message,
+)
+
+__all__ = ["DegeneracyReconstructionProtocol", "DegeneracyRecognitionProtocol", "prune_decode"]
+
+
+def prune_decode(
+    n: int,
+    k: int,
+    records: list[tuple[int, int, list[int]]],
+    *,
+    table: PowerSumLookupTable | None = None,
+) -> LabeledGraph:
+    """The Algorithm-4 loop, shared by reconstruction and recognition.
+
+    ``records`` is a list of ``[vertex, degree, power_sums]`` triples (power
+    sums as a mutable list); it is consumed destructively.  Raises
+    :class:`RecognitionFailure` when no vertex of degree ≤ k remains while
+    vertices are unpruned, and :class:`DecodeError` on inconsistent sums.
+    """
+    h = LabeledGraph(n)
+    state: dict[int, tuple[int, list[int]]] = {}
+    for vertex, degree, sums in records:
+        if vertex in state:
+            raise DecodeError(f"duplicate message for vertex {vertex}")
+        state[vertex] = (degree, sums)
+    if len(state) != n:
+        raise DecodeError(f"expected {n} distinct vertex records, got {len(state)}")
+
+    # worklist of currently-prunable vertices; membership re-checked on pop
+    worklist = [v for v, (d, _) in state.items() if d <= k]
+    remaining = set(state)
+    while remaining:
+        x = None
+        while worklist:
+            cand = worklist.pop()
+            if cand in remaining and state[cand][0] <= k:
+                x = cand
+                break
+        if x is None:
+            raise RecognitionFailure(
+                f"no vertex of degree <= {k} remains: graph degeneracy exceeds {k}",
+                stuck_vertices=frozenset(remaining),
+            )
+        degree, sums = state[x]
+        if table is not None:
+            nbrs = table.lookup_partial(degree, tuple(sums))
+        else:
+            nbrs = decode_neighborhood_newton(degree, tuple(sums), n)
+        if not nbrs <= remaining - {x}:
+            raise DecodeError(
+                f"vertex {x} decoded neighbours {sorted(nbrs)} outside the remaining graph"
+            )
+        remaining.discard(x)
+        for v in nbrs:
+            h.add_edge(x, v)
+            d_v, s_v = state[v]
+            xp = 1
+            for p in range(len(s_v)):
+                xp *= x
+                s_v[p] -= xp
+                if s_v[p] < 0:
+                    raise DecodeError(f"negative power sum at vertex {v}: corrupt messages")
+            state[v] = (d_v - 1, s_v)
+            if d_v - 1 <= k:
+                worklist.append(v)
+    return h
+
+
+class DegeneracyReconstructionProtocol(ReconstructionProtocol):
+    """The paper's headline protocol: Theorem 5.
+
+    Parameters
+    ----------
+    k:
+        The degeneracy bound all participants agree on ("each vertex needs
+        to know the value of k").
+    decoder:
+        ``"newton"`` (default, no preprocessing) or ``"table"`` (Lemma 3's
+        lookup table, built lazily per n and cached).
+    """
+
+    def __init__(self, k: int, *, decoder: str = "newton") -> None:
+        if k < 1:
+            raise GraphError(f"k must be >= 1, got {k}")
+        if decoder not in ("newton", "table"):
+            raise GraphError(f"decoder must be 'newton' or 'table', got {decoder!r}")
+        self.k = k
+        self.decoder = decoder
+        self.name = f"degeneracy-reconstruction(k={k},{decoder})"
+        self._tables: dict[int, PowerSumLookupTable] = {}
+
+    def local(self, n: int, i: int, neighborhood: frozenset[int]) -> Message:
+        return encode_powersum_message(n, self.k, i, neighborhood)
+
+    def global_(self, n: int, messages: list[Message]) -> LabeledGraph:
+        records = []
+        for msg in messages:
+            rec = decode_powersum_message(n, self.k, msg)
+            records.append((rec.vertex, rec.degree, list(rec.power_sums)))
+        table = self._table_for(n) if self.decoder == "table" else None
+        return prune_decode(n, self.k, records, table=table)
+
+    def _table_for(self, n: int) -> PowerSumLookupTable:
+        if n not in self._tables:
+            self._tables[n] = PowerSumLookupTable(n, self.k)
+        return self._tables[n]
+
+
+class DegeneracyRecognitionProtocol(DecisionProtocol):
+    """Recognition variant: *is* the graph of degeneracy at most k?
+
+    Same messages as the reconstruction protocol; the referee answers False
+    exactly when the pruning process gets stuck (Section III's closing
+    remark).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise GraphError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"degeneracy-recognition(k={k})"
+        self._inner = DegeneracyReconstructionProtocol(k)
+
+    def local(self, n: int, i: int, neighborhood: frozenset[int]) -> Message:
+        return self._inner.local(n, i, neighborhood)
+
+    def global_(self, n: int, messages: list[Message]) -> bool:
+        try:
+            self._inner.global_(n, messages)
+        except RecognitionFailure:
+            return False
+        return True

@@ -1,0 +1,246 @@
+"""Power-sum neighbourhood encoding and decoding (Algorithm 3, Theorem 4, Lemma 3).
+
+**Encoding (Algorithm 3).**  A node ``x`` with neighbourhood ``N`` sends the
+``k+2``-tuple ``(ID(x), deg(x), b_1, ..., b_k)`` where
+``b_p = Σ_{w∈N} ID(w)^p``.  The paper phrases this as ``b = A(k,n) · x̄``
+with ``A`` the Vandermonde-like matrix ``A[p][i] = i^p`` and ``x̄`` the
+0/1 incidence vector of ``N`` — the explicit sums below compute exactly that
+product.  Serialized fixed-width, ``b_p <= n^{p+1}`` takes ``(p+1)·w`` bits
+with ``w = ceil(log2(n+1))``, so the message costs ``O(k² log n)`` bits
+(Lemma 2).
+
+**Decoding (Theorem 4 / Corollary 1).**  Wright's theorem: equal power sums
+``p = 1..k`` force equal multisets, so for ``deg(x) = d <= k`` the first
+``d`` power sums determine ``N`` uniquely.  Two decoders:
+
+* :func:`decode_neighborhood_newton` — Newton's identities convert power
+  sums to elementary symmetric polynomials (exact integer arithmetic), and
+  the neighbours are the integer roots of the resulting monic polynomial,
+  found by scanning ``1..n`` with Horner + synthetic division, ``O(n·d)``;
+* :class:`PowerSumLookupTable` — Lemma 3's preprocessing: enumerate all
+  ``<= k``-subsets of ``1..n`` and index them by their power-sum vector;
+  one dictionary probe per decode (``O(n^k)`` space, so guarded).
+
+Both decoders raise :class:`~repro.errors.DecodeError` on corrupt input
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.bits.reader import BitReader
+from repro.bits.sizing import id_width
+from repro.bits.writer import BitWriter
+from repro.errors import DecodeError, GraphError
+from repro.model.message import Message
+
+__all__ = [
+    "PowerSumRecord",
+    "compute_power_sums",
+    "encode_powersum_message",
+    "decode_powersum_message",
+    "powersum_message_bits",
+    "newton_identities",
+    "integer_roots_of_monic",
+    "decode_neighborhood_newton",
+    "PowerSumLookupTable",
+]
+
+
+@dataclass(frozen=True)
+class PowerSumRecord:
+    """The decoded content of one Algorithm-3 message: ``(ID, deg, b_1..b_k)``."""
+
+    vertex: int
+    degree: int
+    power_sums: tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        """The protocol parameter this record was encoded with."""
+        return len(self.power_sums)
+
+
+def compute_power_sums(neighborhood: frozenset[int] | set[int], k: int) -> tuple[int, ...]:
+    """``(b_1, ..., b_k)`` with ``b_p = Σ_{w∈N} w^p`` — the product ``A(k,n)·x̄``."""
+    if k < 1:
+        raise GraphError(f"k must be >= 1, got {k}")
+    sums = [0] * k
+    for w in neighborhood:
+        acc = 1
+        for p in range(k):
+            acc *= w
+            sums[p] += acc
+    return tuple(sums)
+
+
+def powersum_message_bits(n: int, k: int) -> int:
+    """Exact serialized size of an Algorithm-3 message: ``(2 + Σ_{p=1..k}(p+1))·w``.
+
+    ``= (2 + k(k+3)/2) · ceil(log2(n+1))`` bits — the concrete form of
+    Lemma 2's ``O(k² log n)``.
+    """
+    w = id_width(n)
+    return (2 + sum(p + 1 for p in range(1, k + 1))) * w
+
+
+def encode_powersum_message(n: int, k: int, i: int, neighborhood: frozenset[int]) -> Message:
+    """Serialize Algorithm 3's tuple for node ``i``; all widths derive from ``(n, k)``."""
+    w = id_width(n)
+    writer = BitWriter()
+    writer.write_bits(i, w)
+    writer.write_bits(len(neighborhood), w)
+    for p, b in enumerate(compute_power_sums(neighborhood, k), start=1):
+        writer.write_bits(b, (p + 1) * w)
+    return Message.from_writer(writer)
+
+
+def decode_powersum_message(n: int, k: int, msg: Message) -> PowerSumRecord:
+    """Parse an Algorithm-3 message back into a record; strict framing."""
+    w = id_width(n)
+    r: BitReader = msg.reader()
+    try:
+        vertex = r.read_bits(w)
+        degree = r.read_bits(w)
+        sums = tuple(r.read_bits((p + 1) * w) for p in range(1, k + 1))
+        r.expect_exhausted()
+    except Exception as exc:  # underflow / leftover bits
+        raise DecodeError(f"malformed power-sum message: {exc}") from exc
+    if not 1 <= vertex <= n:
+        raise DecodeError(f"decoded vertex ID {vertex} outside 1..{n}")
+    if degree > n - 1:
+        raise DecodeError(f"decoded degree {degree} exceeds n-1 = {n - 1}")
+    return PowerSumRecord(vertex=vertex, degree=degree, power_sums=sums)
+
+
+def newton_identities(power_sums: tuple[int, ...] | list[int]) -> list[int]:
+    """Elementary symmetric polynomials ``e_1..e_d`` from power sums ``p_1..p_d``.
+
+    Newton: ``m·e_m = Σ_{i=1}^{m} (-1)^{i-1} e_{m-i} p_i``.  Over integers
+    the division by ``m`` must be exact; a remainder means the power sums
+    are not the power sums of *any* multiset of integers, so we raise.
+    """
+    d = len(power_sums)
+    e = [1] + [0] * d
+    for m in range(1, d + 1):
+        acc = 0
+        sign = 1
+        for i in range(1, m + 1):
+            acc += sign * e[m - i] * power_sums[i - 1]
+            sign = -sign
+        q, rem = divmod(acc, m)
+        if rem:
+            raise DecodeError(f"power sums are inconsistent: e_{m} is not an integer")
+        e[m] = q
+    return e[1:]
+
+
+def integer_roots_of_monic(elementary: list[int], n: int) -> list[int]:
+    """All roots in ``1..n`` of ``x^d - e_1 x^{d-1} + e_2 x^{d-2} - ...``.
+
+    The polynomial whose roots are the neighbours.  Scan candidates with
+    Horner, synthetic-divide on each hit; Corollary 1 guarantees the
+    genuine decode finds exactly ``d`` distinct roots.
+    """
+    d = len(elementary)
+    # coefficients of Π (x - r_i), highest degree first
+    coeffs = [1] + [(-1) ** (idx + 1) * e for idx, e in enumerate(elementary)]
+    roots: list[int] = []
+    candidate = 1
+    while len(roots) < d and candidate <= n:
+        # Horner evaluation at `candidate`
+        acc = 0
+        for c in coeffs:
+            acc = acc * candidate + c
+        if acc == 0:
+            roots.append(candidate)
+            # synthetic division by (x - candidate)
+            new_coeffs = [coeffs[0]]
+            for c in coeffs[1:-1]:
+                new_coeffs.append(c + new_coeffs[-1] * candidate)
+            coeffs = new_coeffs
+            # distinct roots (a neighbourhood is a set): advance
+        candidate += 1
+    if len(roots) < d:
+        raise DecodeError(
+            f"polynomial of degree {d} has only {len(roots)} integer roots in 1..{n}"
+        )
+    return roots
+
+
+def decode_neighborhood_newton(
+    degree: int, power_sums: tuple[int, ...] | list[int], n: int
+) -> frozenset[int]:
+    """Recover ``N(x)`` from the first ``degree`` power sums (Theorem 4 route).
+
+    Requires ``degree <= len(power_sums)`` — i.e. the vertex is currently
+    prunable (degree at most k).
+    """
+    if degree == 0:
+        return frozenset()
+    if degree > len(power_sums):
+        raise DecodeError(
+            f"cannot decode degree {degree} from only {len(power_sums)} power sums"
+        )
+    e = newton_identities(list(power_sums[:degree]))
+    roots = integer_roots_of_monic(e, n)
+    result = frozenset(roots)
+    if len(result) != degree:
+        raise DecodeError("decoded neighbourhood has repeated vertices")
+    return result
+
+
+class PowerSumLookupTable:
+    """Lemma 3's table: power-sum vector -> neighbourhood, for all ``<= k``-subsets.
+
+    Size ``Σ_{d<=k} C(n,d) = O(n^k)`` entries; construction is guarded by
+    ``max_entries``.  The paper sorts the table and binary-searches in
+    ``O(k log n)``; a Python dict probe is the moral equivalent (and is
+    what gives Algorithm 4 its ``O(n²)`` total decode).
+    """
+
+    def __init__(self, n: int, k: int, *, max_entries: int = 5_000_000) -> None:
+        if k < 1:
+            raise GraphError(f"k must be >= 1, got {k}")
+        total = sum(math.comb(n, d) for d in range(k + 1))
+        if total > max_entries:
+            raise GraphError(
+                f"lookup table for n={n}, k={k} needs {total} entries "
+                f"(> max_entries={max_entries}); use the Newton decoder"
+            )
+        self.n = n
+        self.k = k
+        self._table: dict[tuple[int, ...], frozenset[int]] = {}
+        for d in range(k + 1):
+            for subset in combinations(range(1, n + 1), d):
+                key = compute_power_sums(frozenset(subset), k)
+                self._table[key] = frozenset(subset)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, power_sums: tuple[int, ...]) -> frozenset[int]:
+        """Neighbourhood with these k power sums; raises DecodeError if absent."""
+        try:
+            return self._table[tuple(power_sums)]
+        except KeyError:
+            raise DecodeError(
+                "power-sum vector not in lookup table (degree > k or corrupt message)"
+            ) from None
+
+    def lookup_partial(self, degree: int, power_sums: tuple[int, ...]) -> frozenset[int]:
+        """Decode from the first ``degree`` power sums via the Newton route.
+
+        Algorithm 4 updates records incrementally, so mid-decode a vertex's
+        *current* power sums match a subset of size ``degree < k`` whose
+        full-k key is exactly what :meth:`lookup` expects — this helper
+        recomputes the full key when possible, falling back to Newton.
+        """
+        if len(power_sums) == self.k:
+            hit = self._table.get(tuple(power_sums))
+            if hit is not None and len(hit) == degree:
+                return hit
+        return decode_neighborhood_newton(degree, power_sums, self.n)

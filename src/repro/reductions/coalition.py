@@ -1,0 +1,179 @@
+"""Coalition (partition-argument) protocols — the strengthened model of the hardness proofs.
+
+The conclusion explains the paper's lower-bound technique: "we have
+partitioned the vertices of the graph into two or three parts, and we have
+shown that, **even if vertices of a same part are allowed to share their
+local information**, the problem remains intractable."  This module makes
+that strengthened model concrete:
+
+* a :class:`CoalitionEncoder` sees, per part, the *pooled* knowledge of all
+  its vertices (every neighbourhood in the part) and emits one message for
+  the whole part;
+* :func:`find_coalition_collision` runs the same pigeonhole search as the
+  per-node version: two graphs whose ``c`` coalition messages all agree but
+  whose property differs defeat every possible referee.
+
+With ``c`` parts of ``B`` bits each, only ``2^{cB}`` message vectors exist
+— a *much* tighter pigeonhole than the per-node model (`c` is constant!),
+which is why the paper's Theorems 1–3 survive coalition strengthening while
+connectivity (whose partition capacity ``O(k log n)·n`` suffices, see
+:mod:`repro.protocols.partition_connectivity`) escapes it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.bits.writer import BitWriter
+from repro.graphs.counting import enumerate_labeled_graphs
+from repro.graphs.labeled import LabeledGraph
+from repro.model.message import Message
+from repro.sketching.field import splitmix64
+
+__all__ = [
+    "coalition_parts",
+    "CoalitionEncoder",
+    "HashedCoalitionEncoder",
+    "EdgeStatsCoalitionEncoder",
+    "CoalitionCollisionWitness",
+    "find_coalition_collision",
+    "coalition_capacity_bits",
+]
+
+
+def coalition_parts(n: int, c: int) -> list[tuple[int, ...]]:
+    """Split ``1..n`` into ``c`` contiguous coalitions (sizes within 1)."""
+    if c < 1:
+        raise ValueError(f"need c >= 1 coalitions, got {c}")
+    base, extra = divmod(n, c)
+    parts = []
+    start = 1
+    for p in range(c):
+        size = base + (1 if p < extra else 0)
+        parts.append(tuple(range(start, start + size)))
+        start += size
+    return parts
+
+
+def coalition_capacity_bits(c: int, bits_per_part: int) -> int:
+    """Total information a c-coalition round can deliver: ``c · B`` bits.
+
+    Constant in n — the crux of the partition argument: any family with more
+    than ``2^{cB}`` members admits a collision outright.
+    """
+    return c * bits_per_part
+
+
+class CoalitionEncoder:
+    """One message per part, computed from the part's pooled knowledge."""
+
+    name = "coalition-encoder"
+
+    def __init__(self, c: int) -> None:
+        self.c = c
+
+    def part_message(
+        self, n: int, part: tuple[int, ...], knowledge: dict[int, frozenset[int]]
+    ) -> Message:
+        """The message of one coalition; ``knowledge[v] = N(v)`` for v in part."""
+        raise NotImplementedError
+
+    def message_vector(self, g: LabeledGraph) -> tuple[Message, ...]:
+        out = []
+        for part in coalition_parts(g.n, self.c):
+            knowledge = {v: g.neighbors(v) for v in part}
+            out.append(self.part_message(g.n, part, knowledge))
+        return tuple(out)
+
+
+class HashedCoalitionEncoder(CoalitionEncoder):
+    """Each part sends a ``bits``-bit fingerprint of everything it knows.
+
+    The strongest *possible* digest of a fixed size — and still killed by
+    pigeonhole, demonstrating that no cleverness rescues constant-size
+    coalition messages.
+    """
+
+    def __init__(self, c: int, bits: int, salt: int = 0) -> None:
+        super().__init__(c)
+        self.bits = bits
+        self.salt = salt
+        self.name = f"hashed-coalition(c={c},{bits}b)"
+
+    def part_message(self, n, part, knowledge):
+        acc = splitmix64(self.salt)
+        for v in part:
+            mask = 0
+            for w in knowledge[v]:
+                mask |= 1 << w
+            acc = splitmix64(acc ^ splitmix64(v) ^ splitmix64(mask & 0xFFFFFFFFFFFFFFFF) ^ (mask >> 64))
+        w = BitWriter()
+        w.write_bits(acc & ((1 << self.bits) - 1), self.bits)
+        return Message.from_writer(w)
+
+
+class EdgeStatsCoalitionEncoder(CoalitionEncoder):
+    """Each part sends (edges-within, edges-leaving, degree sum) — natural but doomed."""
+
+    def __init__(self, c: int) -> None:
+        super().__init__(c)
+        self.name = f"edge-stats-coalition(c={c})"
+
+    def part_message(self, n, part, knowledge):
+        members = set(part)
+        inside = 0
+        leaving = 0
+        degsum = 0
+        for v in part:
+            for u in knowledge[v]:
+                degsum += 1
+                if u in members:
+                    inside += 1  # counted twice, halved below
+                else:
+                    leaving += 1
+        w = BitWriter()
+        width = (n * n).bit_length()
+        w.write_bits(inside // 2, width)
+        w.write_bits(leaving, width)
+        w.write_bits(degsum, width)
+        return Message.from_writer(w)
+
+
+@dataclass(frozen=True)
+class CoalitionCollisionWitness:
+    """Two graphs all c coalition messages agree on, property values differing."""
+
+    encoder: str
+    g_with: LabeledGraph
+    g_without: LabeledGraph
+    property_name: str
+
+    def verify(self, encoder: CoalitionEncoder, prop: Callable[[LabeledGraph], bool]) -> bool:
+        return (
+            encoder.message_vector(self.g_with) == encoder.message_vector(self.g_without)
+            and prop(self.g_with)
+            and not prop(self.g_without)
+        )
+
+
+def find_coalition_collision(
+    encoder: CoalitionEncoder,
+    n: int,
+    prop: Callable[[LabeledGraph], bool],
+    property_name: str = "property",
+) -> CoalitionCollisionWitness | None:
+    """Exhaustive pigeonhole search in the coalition model (guarded small n)."""
+    buckets: dict[tuple[Message, ...], tuple[LabeledGraph | None, LabeledGraph | None]] = {}
+    for g in enumerate_labeled_graphs(n):
+        key = encoder.message_vector(g)
+        holds = prop(g)
+        with_g, without_g = buckets.get(key, (None, None))
+        if holds and with_g is None:
+            with_g = g.copy()
+        elif not holds and without_g is None:
+            without_g = g.copy()
+        if with_g is not None and without_g is not None:
+            return CoalitionCollisionWitness(encoder.name, with_g, without_g, property_name)
+        buckets[key] = (with_g, without_g)
+    return None

@@ -1,0 +1,64 @@
+"""Theorem 2 / Algorithm 2: a diameter-≤3 detector yields a reconstructor for ALL graphs.
+
+The gadget (Figure 1) adds three vertices: a pendant on s, a pendant on t,
+and a universal vertex.  ``diam(G'_{s,t}) ≤ 3`` iff ``{s,t} ∈ E``.
+
+Unlike Theorem 1, an original vertex's gadget neighbourhood *does* depend on
+(s, t) — but only through membership of ``i`` in ``{s, t}``, so three
+messages cover all cases.  Node ``i`` sends the triple
+
+* ``m⁰_i = Γ^l_{n+3}(i, N ∪ {n+3})``            (role: bystander),
+* ``mˢ_i = Γ^l_{n+3}(i, N ∪ {n+1, n+3})``        (role: i = s),
+* ``mᵗ_i = Γ^l_{n+3}(i, N ∪ {n+2, n+3})``        (role: i = t),
+
+packed with self-delimiting framing — "Δ is frugal, since its messages are
+three times as big as those of Γ" (plus our explicit O(log k(n)) framing).
+
+The referee, for each (s, t), selects each node's message by role, computes
+the three gadget vertices' messages itself (they do not depend on G), and
+asks Γ whether the diameter is ≤ 3.  The reconstructed family is *all*
+graphs — ``Ω(2^{n²/2})`` of them — so Lemma 1 rules out a frugal Γ.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.labeled import LabeledGraph
+from repro.model.message import Message
+from repro.model.protocol import DecisionProtocol, ReconstructionProtocol
+from repro.reductions.framing import pack_messages, unpack_messages
+
+__all__ = ["DiameterReduction"]
+
+
+class DiameterReduction(ReconstructionProtocol):
+    """``Δ`` = ReconstructGraph(Γ), Algorithm 2 verbatim."""
+
+    def __init__(self, detector: DecisionProtocol) -> None:
+        self.detector = detector
+        self.name = f"diameter-reduction[{detector.name}]"
+
+    def local(self, n: int, i: int, neighborhood: frozenset[int]) -> Message:
+        """The triple ``(m⁰_i, mˢ_i, mᵗ_i)``, packed."""
+        gamma = self.detector
+        m0 = gamma.local(n + 3, i, neighborhood | {n + 3})
+        ms = gamma.local(n + 3, i, neighborhood | {n + 1, n + 3})
+        mt = gamma.local(n + 3, i, neighborhood | {n + 2, n + 3})
+        return pack_messages([m0, ms, mt])
+
+    def global_(self, n: int, messages: list[Message]) -> LabeledGraph:
+        gamma = self.detector
+        triples = [unpack_messages(m, 3) for m in messages]
+        h = LabeledGraph(n)
+        universal = frozenset(range(1, n + 1))
+        m_n3 = gamma.local(n + 3, n + 3, universal)  # (s,t)-independent
+        for s in range(1, n + 1):
+            for t in range(s + 1, n + 1):
+                vec = [triples[i - 1][0] for i in range(1, n + 1)]
+                vec[s - 1] = triples[s - 1][1]  # m^s_s
+                vec[t - 1] = triples[t - 1][2]  # m^t_t
+                vec.append(gamma.local(n + 3, n + 1, frozenset({s})))
+                vec.append(gamma.local(n + 3, n + 2, frozenset({t})))
+                vec.append(m_n3)
+                if gamma.global_(n + 3, vec):
+                    h.add_edge(s, t)  # diam(G'_{s,t}) <= 3
+        return h

@@ -1,0 +1,59 @@
+"""The ``G'_{s,t}`` gadget constructions of Section II.
+
+Each gadget extends an n-vertex graph G with fresh vertices so that a target
+property of ``G'_{s,t}`` holds **iff** ``{s,t} ∈ E(G)``:
+
+* :func:`square_gadget` (Theorem 1): add a pendant ``n+i`` to every vertex
+  ``i``, plus the single edge ``{n+s, n+t}``.  When G is square-free,
+  ``G'_{s,t}`` contains a C4 iff s and t are adjacent (the cycle
+  ``s, n+s, n+t, t``).  Crucially the original vertices' neighbourhoods —
+  ``N(i) ∪ {n+i}`` — do not depend on (s, t), so one real message per node
+  serves every simulated pair.
+* :func:`diameter_gadget` (Theorem 2, **Figure 1**): add ``n+1`` adjacent to
+  s, ``n+2`` adjacent to t, and ``n+3`` adjacent to all of ``1..n``.
+  Diameter ≤ 3 iff ``{s,t} ∈ E`` (otherwise the ``n+1 ⟷ n+2`` distance is 4);
+  original vertices take one of only *three* neighbourhoods as (s, t)
+  varies, so three messages per node suffice.
+* :func:`triangle_gadget` (Theorem 3, **Figure 2**): add one vertex ``n+1``
+  adjacent to s and t.  When G is triangle-free, ``G'_{s,t}`` has a triangle
+  iff ``{s,t} ∈ E``; original vertices take one of two neighbourhoods.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidVertexError
+from repro.graphs.labeled import LabeledGraph
+
+__all__ = ["square_gadget", "diameter_gadget", "triangle_gadget"]
+
+
+def _check_pair(g: LabeledGraph, s: int, t: int) -> None:
+    if not (1 <= s <= g.n and 1 <= t <= g.n):
+        raise InvalidVertexError(f"(s, t) = ({s}, {t}) outside 1..{g.n}")
+    if s == t:
+        raise InvalidVertexError(f"gadget needs s != t, got s = t = {s}")
+
+
+def square_gadget(g: LabeledGraph, s: int, t: int) -> LabeledGraph:
+    """Theorem 1's ``G'_{s,t}`` on ``2n`` vertices: pendants + one far edge."""
+    _check_pair(g, s, t)
+    n = g.n
+    edges = [(i, n + i) for i in range(1, n + 1)]
+    edges.append((n + s, n + t))
+    return g.extended(n, edges)
+
+
+def diameter_gadget(g: LabeledGraph, s: int, t: int) -> LabeledGraph:
+    """Theorem 2's ``G'_{s,t}`` on ``n+3`` vertices (the Figure 1 construction)."""
+    _check_pair(g, s, t)
+    n = g.n
+    edges = [(s, n + 1), (t, n + 2)]
+    edges.extend((v, n + 3) for v in range(1, n + 1))
+    return g.extended(3, edges)
+
+
+def triangle_gadget(g: LabeledGraph, s: int, t: int) -> LabeledGraph:
+    """Theorem 3's ``G'_{s,t}`` on ``n+1`` vertices (the Figure 2 construction)."""
+    _check_pair(g, s, t)
+    n = g.n
+    return g.extended(1, [(s, n + 1), (t, n + 1)])

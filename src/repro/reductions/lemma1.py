@@ -1,0 +1,82 @@
+"""Lemma 1, executable: the information bound on reconstructible families.
+
+"If there is a frugal one-round protocol for reconstructing graphs in G,
+then log g(n) = O(n log n)."  The proof is pure counting: k·log n bits per
+vertex means ``2^{k n log n}`` distinguishable message vectors, and a
+reconstructor must map distinct graphs to distinct vectors.
+
+Two executable forms:
+
+* :func:`lemma1_admits_reconstruction` / :func:`capacity_gap_rows` — the
+  arithmetic: compare ``log2 g(n)`` with ``k·n·log2 n`` per family, the
+  tables behind Theorems 1–3's contradictions;
+* :func:`message_vectors_injective` — the structural necessary condition,
+  checkable for a *given* protocol on a *given* family sample: if two
+  family members share a message vector, reconstruction is impossible for
+  that protocol (this is the bridge to the collision search).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+
+from repro.graphs.counting import frugal_capacity_bits
+from repro.graphs.labeled import LabeledGraph
+from repro.model.protocol import OneRoundProtocol
+
+__all__ = [
+    "lemma1_admits_reconstruction",
+    "capacity_gap_rows",
+    "message_vectors_injective",
+]
+
+
+def lemma1_admits_reconstruction(log2_family_size: float, n: int, k_const: float) -> bool:
+    """Whether a family of ``2^{log2_family_size}`` graphs fits the frugal capacity.
+
+    ``True`` means Lemma 1 does *not* forbid reconstruction with constant
+    ``k_const``; ``False`` is the contradiction the theorems manufacture.
+    """
+    return log2_family_size <= frugal_capacity_bits(n, k_const)
+
+
+def capacity_gap_rows(
+    ns: Iterable[int],
+    k_const: float,
+    families: dict[str, Callable[[int], float]],
+) -> list[dict[str, float]]:
+    """The Lemma 1 table: one row per n, ``log2 g(n)`` per family vs capacity.
+
+    ``families`` maps a family name to a function ``n -> log2 g(n)``.
+    Each row carries the capacity and, per family, the log-count and the
+    verdict ``log2 g(n) <= capacity``.
+    """
+    rows: list[dict[str, float]] = []
+    for n in ns:
+        row: dict[str, float] = {"n": n, "capacity_bits": frugal_capacity_bits(n, k_const)}
+        for name, log_count in families.items():
+            bits = log_count(n)
+            row[f"log2_{name}"] = bits
+            row[f"fits_{name}"] = float(lemma1_admits_reconstruction(bits, n, k_const))
+        rows.append(row)
+    return rows
+
+
+def message_vectors_injective(
+    protocol: OneRoundProtocol, graphs: Iterable[LabeledGraph]
+) -> tuple[bool, tuple[LabeledGraph, LabeledGraph] | None]:
+    """Check the necessary condition for reconstructibility on a family sample.
+
+    Returns ``(True, None)`` if all message vectors are distinct, or
+    ``(False, (g1, g2))`` with a witness pair otherwise.  A frugal protocol
+    failing this on ANY two family members is disqualified outright — no
+    global function can tell the two graphs apart.
+    """
+    seen: dict[tuple, LabeledGraph] = {}
+    for g in graphs:
+        key = tuple(protocol.message_vector(g))
+        if key in seen and seen[key] != g:
+            return False, (seen[key], g)
+        seen[key] = g
+    return True, None

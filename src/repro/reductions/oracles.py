@@ -1,0 +1,67 @@
+"""Ground-truth detector protocols used to validate the reductions.
+
+An impossibility proof cannot be executed against a protocol that does not
+exist — but its *reduction* can be executed against a protocol that is
+correct and merely non-frugal.  Each oracle here sends the full
+neighbourhood bitmap (n bits per node), reconstructs the graph at the
+referee, and evaluates the target property exactly.  Plugging an oracle
+into a Section II reduction must therefore yield a *correct* reconstructor
+— which the tests verify — demonstrating that the reduction logic itself is
+sound; the frugality accounting (Δ's messages are as big as Γ's, up to the
+stated factor) is measured separately.
+
+The oracles' global functions must be *total*: Algorithm 1 feeds them
+message vectors of simulated graphs, and nothing guarantees those encode a
+symmetric adjacency relation, so the union-of-claims decoding from
+:class:`~repro.protocols.trivial.FullAdjacencyProtocol` is reused.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.properties import diameter, has_square, has_triangle
+from repro.model.message import Message
+from repro.model.protocol import DecisionProtocol
+from repro.protocols.trivial import FullAdjacencyProtocol
+
+__all__ = ["OracleSquareDetector", "OracleTriangleDetector", "OracleDiameterDetector"]
+
+
+class _OracleDetector(DecisionProtocol):
+    """Shared plumbing: full-adjacency messages, exact predicate at the referee."""
+
+    _inner = FullAdjacencyProtocol()
+
+    def local(self, n: int, i: int, neighborhood: frozenset[int]) -> Message:
+        return self._inner.local(n, i, neighborhood)
+
+    def _decode(self, n: int, messages: list[Message]):
+        return self._inner.global_(n, messages)
+
+
+class OracleSquareDetector(_OracleDetector):
+    """Decides "does G contain C4 as a subgraph?" — Theorem 1's hypothetical Γ."""
+
+    name = "oracle-square-detector"
+
+    def global_(self, n: int, messages: list[Message]) -> bool:
+        return has_square(self._decode(n, messages))
+
+
+class OracleTriangleDetector(_OracleDetector):
+    """Decides "does G contain K3?" — Theorem 3's hypothetical Γ."""
+
+    name = "oracle-triangle-detector"
+
+    def global_(self, n: int, messages: list[Message]) -> bool:
+        return has_triangle(self._decode(n, messages))
+
+
+class OracleDiameterDetector(_OracleDetector):
+    """Decides "is diam(G) <= bound?" — Theorem 2's hypothetical Γ (bound = 3)."""
+
+    def __init__(self, bound: int = 3) -> None:
+        self.bound = bound
+        self.name = f"oracle-diameter<={bound}-detector"
+
+    def global_(self, n: int, messages: list[Message]) -> bool:
+        return diameter(self._decode(n, messages)) <= self.bound

@@ -1,0 +1,55 @@
+"""Theorem 1 / Algorithm 1: a square detector yields a square-free reconstructor.
+
+Given any one-round protocol ``Γ`` deciding "does the graph contain C4?",
+the derived protocol ``Δ`` reconstructs any *square-free* G:
+
+* **Local phase** — node ``i`` of G sends exactly what Γ's local function
+  would send for node ``i`` of the gadget ``G'_{s,t}``: since ``i``'s
+  gadget neighbourhood ``N_G(i) ∪ {i+n}`` is the same for every (s, t), one
+  message suffices: ``Δ^l_n(i, N) = Γ^l_{2n}(i, N ∪ {i+n})``.
+* **Global phase** — for every pair ``s < t`` the referee completes the
+  message vector with the gadget vertices' messages (computable without G:
+  pendant ``j`` has neighbourhood ``{j-n}``, except ``n+s``/``n+t`` which
+  also see each other), asks Γ's global function whether ``G'_{s,t}`` has a
+  square, and records the answer as the edge bit ``{s,t} ∈ E``.
+
+Message blowup: ``|Δ^l| = k(2n)`` where ``k(·)`` is Γ's message-size
+function — frugal Γ gives frugal Δ.  Since there are ``2^{Θ(n^{3/2})}``
+square-free graphs (Kleitman–Winston), Lemma 1 forbids a frugal Δ, hence a
+frugal Γ cannot exist.  Running :class:`SquareReduction` over a correct
+(non-frugal) oracle Γ validates every step that *is* executable.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.labeled import LabeledGraph
+from repro.model.message import Message
+from repro.model.protocol import DecisionProtocol, ReconstructionProtocol
+
+__all__ = ["SquareReduction"]
+
+
+class SquareReduction(ReconstructionProtocol):
+    """``Δ`` = ReconstructGraphsWithoutSquares(Γ), Algorithm 1 verbatim."""
+
+    def __init__(self, detector: DecisionProtocol) -> None:
+        self.detector = detector
+        self.name = f"square-reduction[{detector.name}]"
+
+    def local(self, n: int, i: int, neighborhood: frozenset[int]) -> Message:
+        """``Δ^l_n(i, N) = Γ^l_{2n}(i, N ∪ {i+n})`` — (s,t)-independent."""
+        return self.detector.local(2 * n, i, neighborhood | {i + n})
+
+    def global_(self, n: int, messages: list[Message]) -> LabeledGraph:
+        gamma = self.detector
+        h = LabeledGraph(n)
+        # pendant messages that do not depend on (s, t): vertex n+j sees {j}
+        plain_pendant = [gamma.local(2 * n, n + j, frozenset({j})) for j in range(1, n + 1)]
+        for s in range(1, n + 1):
+            for t in range(s + 1, n + 1):
+                tail = list(plain_pendant)
+                tail[s - 1] = gamma.local(2 * n, n + s, frozenset({s, n + t}))
+                tail[t - 1] = gamma.local(2 * n, n + t, frozenset({t, n + s}))
+                if gamma.global_(2 * n, messages + tail):
+                    h.add_edge(s, t)  # G'_{s,t} has a square
+        return h

@@ -1,0 +1,55 @@
+"""Linear graph sketching — the answer history gave to the paper's open question.
+
+The paper's main open question (Conclusion): *is there a one-round frugal
+protocol deciding connectivity?*  The authors "rather tend to believe there
+is no such protocol" — and indeed no deterministic ``O(log n)``-bit protocol
+exists — but with **public randomness** the Ahn–Guha–McGregor (SODA 2012)
+linear-sketching technique decides connectivity in exactly this model with
+``O(log³ n)`` bits per node, a single round, and one-sided error.  This
+package implements that machinery from scratch:
+
+* :mod:`~repro.sketching.field` — arithmetic modulo the Mersenne prime
+  ``2^61 - 1`` for fingerprints;
+* :mod:`~repro.sketching.onesparse` — exact recovery of one-sparse signed
+  vectors from three counters ``(Σa_e, Σe·a_e, Σa_e z^e)``;
+* :mod:`~repro.sketching.l0sampler` — sample a uniform-ish nonzero
+  coordinate by subsampling at geometric rates;
+* :mod:`~repro.sketching.connectivity` — the AGM protocol: each node
+  sketches its signed edge-incidence vector; summing a component's sketches
+  cancels internal edges, so the referee runs Borůvka entirely on sketches;
+* :mod:`~repro.sketching.multiround_conn` — the same sketch streamed over
+  ``O(log n)`` rounds so each *round's* message is ``O(log² n)`` bits,
+  connecting to the conclusion's "more rounds" question.
+
+Linearity is the whole trick: a sketch of a sum is the sum of sketches, so
+the referee can aggregate per-component without any node knowing anything
+beyond its own neighbourhood.
+"""
+
+from repro.sketching.field import MERSENNE61, fadd, fmul, fpow
+from repro.sketching.onesparse import OneSparseSketch, OneSparseResult
+from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
+from repro.sketching.connectivity import (
+    AGMConnectivityProtocol,
+    SketchReport,
+    sketch_spanning_forest,
+)
+from repro.sketching.multiround_conn import MultiRoundSketchConnectivity
+from repro.sketching.bipartiteness import SketchBipartitenessProtocol, BipartitenessReport
+
+__all__ = [
+    "SketchBipartitenessProtocol",
+    "BipartitenessReport",
+    "MERSENNE61",
+    "fadd",
+    "fmul",
+    "fpow",
+    "OneSparseSketch",
+    "OneSparseResult",
+    "L0Sampler",
+    "L0SamplerParams",
+    "AGMConnectivityProtocol",
+    "SketchReport",
+    "sketch_spanning_forest",
+    "MultiRoundSketchConnectivity",
+]

@@ -1,0 +1,45 @@
+"""Smoke tests for the CLI and the example scripts (deliverable b)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T5" in out and "EXP-SKETCH" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["EXP-DEGEN"]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy of the paper's graph classes" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["EXP-NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "datacenter_audit.py",
+    "impossibility_tour.py",
+    "connectivity_frontier.py",
+])
+def test_example_runs_clean(script):
+    """Each example exits 0 and prints something sensible."""
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=600
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert len(proc.stdout) > 100
+    assert "FAILED" not in proc.stdout

@@ -1,0 +1,151 @@
+"""Unit + property tests for the integer codes and their length formulas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import (
+    BitReader,
+    BitWriter,
+    EliasDeltaCode,
+    EliasGammaCode,
+    FixedWidthCode,
+    UnaryCode,
+    VarintCode,
+    elias_delta_length,
+    elias_gamma_length,
+    fixed_width_for,
+    id_width,
+    varint_length,
+)
+from repro.errors import CodecError
+
+SELF_DELIMITING = [EliasGammaCode(), EliasDeltaCode(), VarintCode()]
+
+
+def roundtrip(code, value):
+    w = BitWriter()
+    code.encode(w, value)
+    r = BitReader(*w.to_int())
+    out = code.decode(r)
+    r.expect_exhausted()
+    return out, len(w)
+
+
+class TestFixedWidth:
+    @pytest.mark.parametrize("width,value", [(0, 0), (1, 1), (8, 255), (20, 12345)])
+    def test_roundtrip(self, width, value):
+        out, nbits = roundtrip(FixedWidthCode(width), value)
+        assert out == value and nbits == width
+
+    def test_rejects_overflow(self):
+        with pytest.raises(CodecError):
+            roundtrip(FixedWidthCode(3), 8)
+
+    def test_negative_width(self):
+        with pytest.raises(CodecError):
+            FixedWidthCode(-1)
+
+
+class TestUnary:
+    @pytest.mark.parametrize("value", [0, 1, 2, 17])
+    def test_roundtrip_and_length(self, value):
+        out, nbits = roundtrip(UnaryCode(), value)
+        assert out == value and nbits == value + 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(CodecError):
+            roundtrip(UnaryCode(), -1)
+
+
+class TestEliasGamma:
+    @pytest.mark.parametrize("value", [1, 2, 3, 4, 7, 8, 255, 1 << 40])
+    def test_roundtrip(self, value):
+        out, nbits = roundtrip(EliasGammaCode(), value)
+        assert out == value
+        assert nbits == elias_gamma_length(value)
+
+    def test_known_codewords(self):
+        # gamma(1) = "1", gamma(2) = "010", gamma(5) = "00101"
+        w = BitWriter()
+        EliasGammaCode().encode(w, 5)
+        assert w.to_int() == (0b00101, 5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(CodecError):
+            roundtrip(EliasGammaCode(), 0)
+
+
+class TestEliasDelta:
+    @pytest.mark.parametrize("value", [1, 2, 3, 16, 17, 255, 1 << 40])
+    def test_roundtrip(self, value):
+        out, nbits = roundtrip(EliasDeltaCode(), value)
+        assert out == value
+        assert nbits == elias_delta_length(value)
+
+    def test_rejects_zero(self):
+        with pytest.raises(CodecError):
+            roundtrip(EliasDeltaCode(), 0)
+
+    def test_shorter_than_gamma_for_large_values(self):
+        v = 1 << 30
+        assert elias_delta_length(v) < elias_gamma_length(v)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 1 << 35])
+    def test_roundtrip(self, value):
+        out, nbits = roundtrip(VarintCode(), value)
+        assert out == value
+        assert nbits == varint_length(value)
+
+    def test_rejects_negative(self):
+        with pytest.raises(CodecError):
+            roundtrip(VarintCode(), -3)
+
+
+class TestSizingHelpers:
+    def test_fixed_width_for(self):
+        assert [fixed_width_for(v) for v in (0, 1, 2, 3, 4, 255, 256)] == [0, 1, 2, 2, 3, 8, 9]
+
+    def test_id_width_matches_paper_log_n(self):
+        # id_width(n) = ceil(log2(n+1)); within the paper's O(log n) unit.
+        assert id_width(1) == 1
+        assert id_width(15) == 4
+        assert id_width(16) == 5
+
+    def test_id_width_rejects_zero(self):
+        with pytest.raises(CodecError):
+            id_width(0)
+
+
+@pytest.mark.parametrize("code", SELF_DELIMITING, ids=lambda c: type(c).__name__)
+@given(values=st.lists(st.integers(min_value=1, max_value=1 << 48), max_size=30))
+def test_self_delimiting_sequences(code, values):
+    """Property: self-delimiting codes concatenate without framing."""
+    w = BitWriter()
+    for v in values:
+        code.encode(w, v)
+    r = BitReader(*w.to_int())
+    assert [code.decode(r) for _ in values] == values
+    r.expect_exhausted()
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=200), max_size=30))
+def test_unary_sequences(values):
+    """Property: unary codewords concatenate without framing (small values)."""
+    code = UnaryCode()
+    w = BitWriter()
+    for v in values:
+        code.encode(w, v)
+    r = BitReader(*w.to_int())
+    assert [code.decode(r) for _ in values] == values
+    r.expect_exhausted()
+
+
+@given(value=st.integers(min_value=1, max_value=1 << 200))
+def test_gamma_delta_agree_on_value(value):
+    """Property: gamma and delta decode back the same huge integers."""
+    for code in (EliasGammaCode(), EliasDeltaCode()):
+        out, _ = roundtrip(code, value)
+        assert out == value

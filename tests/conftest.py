@@ -1,0 +1,17 @@
+"""Test-suite configuration: deterministic, deadline-free hypothesis runs.
+
+Several property tests exercise full protocol rounds whose first execution
+includes lazy table builds; wall-clock deadlines would make those flaky on
+loaded machines, so deadlines are disabled globally (example counts are the
+budget instead).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile("repro")

@@ -1,0 +1,49 @@
+"""Tests for the fixed named instances."""
+
+import math
+
+from repro.graphs import diameter, girth, has_square, has_triangle, is_bipartite, is_connected
+from repro.graphs.families import bull, figure1_base, figure2_base, kite, paw, petersen
+
+
+class TestPetersen:
+    def test_structure(self):
+        g = petersen()
+        assert g.n == 10 and g.m == 15
+        assert all(g.degree(v) == 3 for v in g.vertices())
+        assert girth(g) == 5
+        assert diameter(g) == 2
+
+    def test_square_and_triangle_free(self):
+        g = petersen()
+        assert not has_square(g) and not has_triangle(g)
+
+
+class TestFigureBases:
+    def test_figure1_base_connected_and_queryable(self):
+        g = figure1_base()
+        assert g.n == 7 and is_connected(g)
+        assert not g.has_edge(1, 7)  # the absent query edge of Figure 1
+        assert g.has_edge(1, 2)  # a present edge for the other branch
+
+    def test_figure2_base_bipartite(self):
+        g = figure2_base()
+        assert g.n == 7 and is_bipartite(g)
+        assert g.has_edge(2, 7)  # the present query edge of Figure 2
+        assert not g.has_edge(1, 7)
+        assert not has_triangle(g)
+
+
+class TestSmallNamed:
+    def test_bull(self):
+        g = bull()
+        assert g.n == 5 and g.m == 5 and has_triangle(g) and not has_square(g)
+
+    def test_paw(self):
+        g = paw()
+        assert has_triangle(g) and not has_square(g) and girth(g) == 3
+
+    def test_kite(self):
+        g = kite()
+        assert has_triangle(g) and has_square(g)
+        assert math.isfinite(diameter(g))

@@ -1,0 +1,75 @@
+"""Tests for graph6 serialization, cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import LabeledGraph
+from repro.graphs.families import petersen
+from repro.graphs.generators import complete_graph, erdos_renyi, path_graph
+from repro.graphs.io import from_graph6, to_graph6
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("gen", [
+        lambda: LabeledGraph(0),
+        lambda: LabeledGraph(1),
+        lambda: LabeledGraph(5),
+        lambda: path_graph(7),
+        lambda: complete_graph(6),
+        lambda: petersen(),
+        lambda: erdos_renyi(30, 0.3, seed=1),
+        lambda: erdos_renyi(63, 0.1, seed=2),   # n = 62 boundary + 1
+        lambda: erdos_renyi(64, 0.05, seed=3),  # long-form header
+    ])
+    def test_roundtrip(self, gen):
+        g = gen()
+        assert from_graph6(to_graph6(g)) == g
+
+    def test_known_encodings(self):
+        # from the format spec: K4 minus an edge variants...
+        assert to_graph6(complete_graph(2)) == "A_"
+        assert to_graph6(LabeledGraph(2)) == "A?"
+        assert to_graph6(path_graph(3)) in ("Bg", "BW", "Bo")  # depends on edge layout
+
+    def test_matches_networkx_writer(self):
+        for seed in range(5):
+            g = erdos_renyi(12, 0.4, seed=seed)
+            nxg = nx.relabel_nodes(g.to_networkx(), {v: v - 1 for v in g.vertices()})
+            expected = nx.to_graph6_bytes(nxg, header=False).decode().strip()
+            assert to_graph6(g) == expected
+
+    def test_reads_networkx_output(self):
+        g = erdos_renyi(20, 0.3, seed=9)
+        nxg = nx.relabel_nodes(g.to_networkx(), {v: v - 1 for v in g.vertices()})
+        text = nx.to_graph6_bytes(nxg, header=True).decode().strip()
+        assert from_graph6(text) == g  # header stripped automatically
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(GraphError):
+            from_graph6("")
+
+    def test_wrong_body_length(self):
+        with pytest.raises(GraphError):
+            from_graph6("D")  # n=5 needs 2 body bytes, got 0
+
+    def test_invalid_byte(self):
+        with pytest.raises(GraphError):
+            from_graph6("B" + chr(20))
+
+    def test_negative_n(self):
+        from repro.graphs.io import _encode_n
+
+        with pytest.raises(GraphError):
+            _encode_n(-1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(0, 40), p=st.floats(0, 1), seed=st.integers(0, 999))
+def test_graph6_roundtrip_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed) if n else LabeledGraph(0)
+    assert from_graph6(to_graph6(g)) == g

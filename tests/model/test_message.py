@@ -1,0 +1,57 @@
+"""Tests for the Message type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import BitWriter
+from repro.errors import CodecError
+from repro.model import Message
+
+
+class TestMessage:
+    def test_empty(self):
+        m = Message.empty()
+        assert m.bits == 0 and len(m) == 0
+        assert m.reader().remaining == 0
+
+    def test_from_writer(self):
+        w = BitWriter()
+        w.write_bits(0b1101, 4)
+        m = Message.from_writer(w)
+        assert m.bits == 4 and m.acc == 0b1101
+        assert m.reader().read_bits(4) == 0b1101
+
+    def test_rejects_overflow(self):
+        with pytest.raises(CodecError):
+            Message(8, 3)
+        with pytest.raises(CodecError):
+            Message(0, -1)
+
+    def test_equality_by_content(self):
+        assert Message(5, 3) == Message(5, 3)
+        assert Message(5, 3) != Message(5, 4)  # same value, different length
+        assert Message(5, 3) != "x"
+        assert hash(Message(5, 3)) == hash(Message(5, 3))
+
+    def test_concat(self):
+        m = Message(0b11, 2).concat(Message(0b001, 3))
+        assert m.acc == 0b11001 and m.bits == 5
+
+    def test_concat_with_empty(self):
+        m = Message(0b1, 1)
+        assert m.concat(Message.empty()) == m
+        assert Message.empty().concat(m) == m
+
+    def test_repr_small_and_large(self):
+        assert "101" in repr(Message(0b101, 3))
+        assert "bits=64" in repr(Message(0, 64))
+        assert "empty" in repr(Message.empty())
+
+
+@given(a=st.integers(0, 2**30 - 1), na=st.integers(30, 40), b=st.integers(0, 2**30 - 1), nb=st.integers(30, 40))
+def test_concat_bit_lengths_add(a, na, b, nb):
+    m = Message(a, na).concat(Message(b, nb))
+    assert m.bits == na + nb
+    r = m.reader()
+    assert r.read_bits(na) == a and r.read_bits(nb) == b

@@ -1,0 +1,87 @@
+"""Tests for the multi-round referee loop."""
+
+import pytest
+
+from repro.bits import BitWriter
+from repro.errors import FrugalityViolation, ProtocolError
+from repro.graphs.generators import path_graph, star_graph
+from repro.model import Message, MultiRoundProtocol, MultiRoundReferee
+
+
+class EchoPlusOne(MultiRoundProtocol):
+    """Round 0: nodes send degree; referee feeds it back; round 1: nodes send it + 1."""
+
+    name = "echo-plus-one"
+
+    def rounds(self, n):
+        return 2
+
+    def node_step(self, n, i, neighborhood, round_idx, inbox):
+        w = BitWriter()
+        if round_idx == 0:
+            w.write_bits(len(neighborhood), 8)
+        else:
+            w.write_bits(inbox.reader().read_bits(8) + 1, 8)
+        return Message.from_writer(w)
+
+    def referee_step(self, n, round_idx, messages):
+        values = [m.reader().read_bits(8) for m in messages]
+        if round_idx == 0:
+            return "continue", [Message(v, 8) for v in values]
+        return "output", values
+
+
+class NeverFinishes(EchoPlusOne):
+    name = "never-finishes"
+
+    def referee_step(self, n, round_idx, messages):
+        return "continue", [Message(m.reader().read_bits(8), 8) for m in messages]
+
+
+class BadVerdict(EchoPlusOne):
+    name = "bad-verdict"
+
+    def referee_step(self, n, round_idx, messages):
+        return "banana", None
+
+
+class WrongOutboxCount(EchoPlusOne):
+    name = "wrong-outbox"
+
+    def referee_step(self, n, round_idx, messages):
+        return "continue", [Message.empty()]
+
+
+class TestMultiRound:
+    def test_two_round_echo(self):
+        g = star_graph(5)
+        report = MultiRoundReferee().run(EchoPlusOne(), g)
+        assert report.output == [5, 2, 2, 2, 2]  # degrees + 1
+        assert report.rounds_used == 2
+        assert report.max_node_message_bits == 8
+        assert report.max_referee_message_bits == 8
+        assert report.total_bits == 5 * 8 * 3  # two node rounds + one feedback round
+
+    def test_exhausted_rounds_raises(self):
+        with pytest.raises(ProtocolError, match="exhausted"):
+            MultiRoundReferee().run(NeverFinishes(), path_graph(3))
+
+    def test_bad_verdict_raises(self):
+        with pytest.raises(ProtocolError, match="verdict"):
+            MultiRoundReferee().run(BadVerdict(), path_graph(3))
+
+    def test_wrong_outbox_count_raises(self):
+        with pytest.raises(ProtocolError, match="one message per node"):
+            MultiRoundReferee().run(WrongOutboxCount(), path_graph(3))
+
+    def test_budget_applies_both_directions(self):
+        with pytest.raises(FrugalityViolation):
+            MultiRoundReferee(budget_bits=4).run(EchoPlusOne(), path_graph(3))
+
+    def test_zero_rounds_rejected(self):
+        class Zero(EchoPlusOne):
+            def rounds(self, n):
+                return 0
+
+        with pytest.raises(ProtocolError, match="rounds"):
+            MultiRoundReferee().run(Zero(), path_graph(2))

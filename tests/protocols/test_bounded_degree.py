@@ -1,0 +1,69 @@
+"""Tests for footnote 1's bounded-degree baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError, GraphError
+from repro.graphs.generators import cycle_graph, erdos_renyi, grid_2d, star_graph
+from repro.model import FrugalityAuditor, log2_ceil
+from repro.protocols import BoundedDegreeProtocol
+
+
+class TestBoundedDegree:
+    def test_reconstructs_within_promise(self):
+        g = grid_2d(5, 5)  # max degree 4
+        assert BoundedDegreeProtocol(4).reconstruct(g) == g
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        assert BoundedDegreeProtocol(2).reconstruct(g) == g
+
+    def test_rejects_promise_violation(self):
+        g = star_graph(10)  # centre has degree 9
+        with pytest.raises(DecodeError, match="promise"):
+            BoundedDegreeProtocol(3).reconstruct(g)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(GraphError):
+            BoundedDegreeProtocol(-1)
+
+    def test_message_size_is_delta_plus_2_ids(self):
+        p = BoundedDegreeProtocol(3)
+        n = 100
+        msg = p.local(n, 1, frozenset({2, 3, 4}))
+        w = 7  # id_width(100)
+        assert msg.bits == w + 1 + w + 3 * w  # ID + flag + degree + 3 neighbours
+
+    def test_frugal_on_promise_class_only(self):
+        delta = 4
+        good = [grid_2d(s, s) for s in (4, 8, 16)]
+        report = FrugalityAuditor().audit(BoundedDegreeProtocol(delta), good)
+        assert report.fitted_constant <= (delta + 2) * 1.3
+
+    def test_contrast_with_degeneracy_protocol_on_stars(self):
+        """Stars: degeneracy 1 (paper's protocol fine) but unbounded degree (baseline fails)."""
+        from repro.protocols import DegeneracyReconstructionProtocol
+
+        g = star_graph(50)
+        assert DegeneracyReconstructionProtocol(1).reconstruct(g) == g
+        with pytest.raises(DecodeError):
+            BoundedDegreeProtocol(3).reconstruct(g)
+
+    def test_asymmetric_claims_detected(self):
+        """Failure injection: forged message vectors with one-sided edges are rejected."""
+        p = BoundedDegreeProtocol(2)
+        m1 = p.local(3, 1, frozenset({2}))  # 1 claims edge to 2
+        m2 = p.local(3, 2, frozenset())     # 2 claims nothing
+        m3 = p.local(3, 3, frozenset())
+        with pytest.raises(DecodeError, match="asymmetric"):
+            p.global_(3, [m1, m2, m3])
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 15), p=st.floats(0, 0.5), seed=st.integers(0, 999))
+def test_bounded_degree_property(n, p, seed):
+    """Property: with Δ set to the true max degree, reconstruction is exact."""
+    g = erdos_renyi(n, p, seed=seed)
+    delta = max(g.degrees() or [0])
+    assert BoundedDegreeProtocol(max(delta, 1)).reconstruct(g) == g

@@ -1,0 +1,68 @@
+"""Tests for the one-round degeneracy estimation protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import LabeledGraph, degeneracy
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    k_tree,
+    random_tree,
+    star_graph,
+)
+from repro.protocols.estimation import DegeneracyEstimationProtocol
+
+
+class TestEstimation:
+    def test_trivial_graphs(self):
+        assert DegeneracyEstimationProtocol(3).run(LabeledGraph(0)) == 0
+        assert DegeneracyEstimationProtocol(3).run(LabeledGraph(5)) == 0
+
+    def test_tree_is_1(self):
+        assert DegeneracyEstimationProtocol(4).run(random_tree(15, seed=1)) == 1
+
+    def test_cycle_is_2(self):
+        assert DegeneracyEstimationProtocol(4).run(cycle_graph(9)) == 2
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_tree_exact(self, k):
+        g = k_tree(k + 8, k, seed=k)
+        assert DegeneracyEstimationProtocol(4).run(g) == k
+
+    def test_above_bound_reported_as_kmax_plus_one(self):
+        g = complete_graph(8)  # degeneracy 7
+        assert DegeneracyEstimationProtocol(3).run(g) == 4
+
+    def test_exact_at_bound(self):
+        g = k_tree(10, 3, seed=2)
+        assert DegeneracyEstimationProtocol(3).run(g) == 3
+
+    def test_star_is_1_despite_hub(self):
+        assert DegeneracyEstimationProtocol(2).run(star_graph(40)) == 1
+
+    def test_k_max_validation(self):
+        with pytest.raises(GraphError):
+            DegeneracyEstimationProtocol(0)
+
+    def test_message_same_as_reconstruction_protocol(self):
+        """Estimation costs nothing extra: its message IS Algorithm 3's."""
+        from repro.protocols import DegeneracyReconstructionProtocol
+
+        est = DegeneracyEstimationProtocol(3)
+        rec = DegeneracyReconstructionProtocol(3)
+        nbhd = frozenset({2, 7})
+        assert est.local(10, 1, nbhd) == rec.local(10, 1, nbhd)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 16), p=st.floats(0, 0.8), seed=st.integers(0, 999))
+def test_estimation_matches_ground_truth(n, p, seed):
+    """Property: output == min(degeneracy, k_max + 1) on random graphs."""
+    g = erdos_renyi(n, p, seed=seed)
+    k_max = 4
+    expected = min(degeneracy(g), k_max + 1)
+    assert DegeneracyEstimationProtocol(k_max).run(g) == expected

@@ -1,0 +1,99 @@
+"""Tests for the Section III.E generalized-degeneracy protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, RecognitionFailure
+from repro.graphs import LabeledGraph, degeneracy
+from repro.graphs.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    random_forest,
+    random_tree,
+)
+from repro.protocols import GeneralizedDegeneracyProtocol
+from repro.protocols.generalized_degeneracy import generalized_degeneracy
+
+
+class TestGeneralizedDegeneracyValue:
+    def test_complete_graph_is_0(self):
+        # every suffix has co-degree 0
+        assert generalized_degeneracy(complete_graph(6)) == 0
+
+    def test_empty_graph_is_0(self):
+        assert generalized_degeneracy(LabeledGraph(6)) == 0
+
+    def test_at_most_plain_degeneracy(self):
+        for seed in range(5):
+            g = erdos_renyi(12, 0.4, seed=seed)
+            assert generalized_degeneracy(g) <= max(0, degeneracy(g))
+
+    def test_complement_of_tree_is_at_most_1(self):
+        g = random_tree(10, seed=3).complement()
+        assert generalized_degeneracy(g) <= 1
+
+    def test_balanced_complete_bipartite_is_large(self):
+        # K_{4,4}: every vertex has degree 4 and co-degree 3
+        assert generalized_degeneracy(complete_bipartite(4, 4)) == 3
+
+
+class TestGeneralizedReconstruction:
+    def test_sparse_graphs(self):
+        g = random_forest(15, 3, seed=1)
+        assert GeneralizedDegeneracyProtocol(1).reconstruct(g) == g
+
+    def test_dense_complements(self):
+        """The family plain degeneracy cannot touch: complements of forests."""
+        g = random_tree(12, seed=5).complement()
+        assert degeneracy(g) >= 8  # far above k...
+        assert GeneralizedDegeneracyProtocol(1).reconstruct(g) == g
+
+    def test_complete_graph(self):
+        g = complete_graph(9)
+        assert GeneralizedDegeneracyProtocol(1).reconstruct(g) == g
+
+    def test_mixed_join_like_graph(self):
+        # dense core (complement-prunable) with sparse pendant (degree-prunable)
+        core = complete_graph(6)
+        g = core.extended(3, [(6, 7), (7, 8), (8, 9)])
+        assert generalized_degeneracy(g) <= 2
+        assert GeneralizedDegeneracyProtocol(2).reconstruct(g) == g
+
+    def test_rejects_above_bound(self):
+        # C6 has generalized degeneracy 2 (degree 2, co-degree 3)
+        g = cycle_graph(6)
+        with pytest.raises(RecognitionFailure):
+            GeneralizedDegeneracyProtocol(1).reconstruct(g)
+
+    def test_k0_rejected(self):
+        with pytest.raises(GraphError):
+            GeneralizedDegeneracyProtocol(0)
+
+    def test_message_is_twice_powersum(self):
+        from repro.protocols.powersum import powersum_message_bits
+
+        p = GeneralizedDegeneracyProtocol(2)
+        msg = p.local(20, 1, frozenset({2, 3}))
+        w_id = 5  # id_width(20)
+        # ID + deg + two power-sum blocks: (2 + 2*(2+3)) * w
+        assert msg.bits == 2 * powersum_message_bits(20, 2) - 2 * w_id
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 12), p=st.floats(0, 1), seed=st.integers(0, 999))
+def test_generalized_reconstruction_property(n, p, seed):
+    """Property: with k = the true generalized degeneracy, reconstruction is exact."""
+    g = erdos_renyi(n, p, seed=seed)
+    k = max(1, generalized_degeneracy(g))
+    assert GeneralizedDegeneracyProtocol(k).reconstruct(g) == g
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 12), p=st.floats(0, 1), seed=st.integers(0, 999))
+def test_complement_symmetry_property(n, p, seed):
+    """Property: generalized degeneracy is invariant under complementation."""
+    g = erdos_renyi(n, p, seed=seed)
+    assert generalized_degeneracy(g) == generalized_degeneracy(g.complement())

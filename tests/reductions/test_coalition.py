@@ -1,0 +1,75 @@
+"""Tests for the coalition (partition-argument) model."""
+
+import pytest
+
+from repro.graphs import has_square, has_triangle
+from repro.graphs.generators import erdos_renyi
+from repro.reductions.coalition import (
+    EdgeStatsCoalitionEncoder,
+    HashedCoalitionEncoder,
+    coalition_capacity_bits,
+    coalition_parts,
+    find_coalition_collision,
+)
+
+
+class TestParts:
+    def test_balanced(self):
+        assert coalition_parts(7, 3) == [(1, 2, 3), (4, 5), (6, 7)]
+
+    def test_single_part(self):
+        assert coalition_parts(4, 1) == [(1, 2, 3, 4)]
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            coalition_parts(4, 0)
+
+    def test_capacity_constant_in_n(self):
+        assert coalition_capacity_bits(3, 64) == 192  # no n anywhere
+
+
+class TestCoalitionCollisions:
+    """The conclusion's point: 2-3 coalitions with bounded messages still collide."""
+
+    def test_hashed_coalition_killed_on_squares(self):
+        # 2 parts x 3 bits = 64 message vectors vs 1024 graphs: pigeonhole bites
+        enc = HashedCoalitionEncoder(c=2, bits=3, salt=3)
+        w = find_coalition_collision(enc, 5, has_square, "has_square")
+        assert w is not None
+        assert w.verify(enc, has_square)
+
+    def test_hashed_three_coalitions_killed(self):
+        enc = HashedCoalitionEncoder(c=3, bits=3, salt=5)
+        w = find_coalition_collision(enc, 5, has_triangle, "has_triangle")
+        assert w is not None
+        assert w.verify(enc, has_triangle)
+
+    def test_edge_stats_killed_on_squares(self):
+        enc = EdgeStatsCoalitionEncoder(c=2)
+        w = find_coalition_collision(enc, 5, has_square, "has_square")
+        assert w is not None
+        assert w.verify(enc, has_square)
+
+    def test_wide_digest_survives_tiny_n(self):
+        """With 2^{cB} >> #graphs the pigeonhole has no teeth — as expected."""
+        enc = HashedCoalitionEncoder(c=2, bits=48, salt=1)
+        assert find_coalition_collision(enc, 4, has_square) is None
+
+    def test_message_vector_shape(self):
+        g = erdos_renyi(9, 0.3, seed=2)
+        enc = EdgeStatsCoalitionEncoder(c=3)
+        vec = enc.message_vector(g)
+        assert len(vec) == 3
+        assert all(m.bits > 0 for m in vec)
+
+    def test_coalitions_pool_knowledge(self):
+        """A part's message depends on members' neighbourhoods jointly:
+        moving an edge between two members' views changes the message."""
+        from repro.graphs import LabeledGraph
+
+        enc = EdgeStatsCoalitionEncoder(c=2)
+        g1 = LabeledGraph(4, [(1, 2)])          # edge inside part {1,2}
+        g2 = LabeledGraph(4, [(1, 3)])          # edge leaving part {1,2}
+        v1 = enc.message_vector(g1)
+        v2 = enc.message_vector(g2)
+        assert v1 != v2

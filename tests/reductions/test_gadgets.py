@@ -1,0 +1,124 @@
+"""Tests for the G'_{s,t} gadget iff-properties — the content of Figures 1 and 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidVertexError
+from repro.graphs import diameter, has_square, has_triangle
+from repro.graphs.families import figure1_base, figure2_base, petersen
+from repro.graphs.generators import erdos_renyi, random_bipartite, random_square_free
+from repro.reductions import diameter_gadget, square_gadget, triangle_gadget
+
+
+class TestSquareGadget:
+    def test_structure(self):
+        g = petersen()
+        gp = square_gadget(g, 1, 7)
+        assert gp.n == 20
+        assert gp.m == g.m + 10 + 1
+        for i in range(1, 11):
+            assert gp.has_edge(i, 10 + i)
+        assert gp.has_edge(11, 17)
+
+    def test_iff_property_all_pairs(self):
+        """On a square-free G: C4 in G'_{s,t} iff {s,t} ∈ E — for every pair."""
+        g = random_square_free(9, 0.3, seed=4)
+        assert not has_square(g)
+        for s in range(1, 10):
+            for t in range(s + 1, 10):
+                assert has_square(square_gadget(g, s, t)) == g.has_edge(s, t)
+
+    def test_original_neighborhoods_do_not_depend_on_st(self):
+        """The reduction's key fact: N_{G'}(i) = N_G(i) ∪ {i+n} for all (s,t)."""
+        g = petersen()
+        a = square_gadget(g, 1, 2)
+        b = square_gadget(g, 9, 10)
+        for i in g.vertices():
+            assert a.neighbors(i) == b.neighbors(i) == g.neighbors(i) | {i + 10}
+
+    def test_rejects_bad_pairs(self):
+        g = petersen()
+        with pytest.raises(InvalidVertexError):
+            square_gadget(g, 1, 1)
+        with pytest.raises(InvalidVertexError):
+            square_gadget(g, 0, 2)
+        with pytest.raises(InvalidVertexError):
+            square_gadget(g, 1, 11)
+
+
+class TestDiameterGadget:
+    """Figure 1: diam(G'_{s,t}) <= 3 iff {s,t} ∈ E, else exactly 4."""
+
+    def test_figure1_instance(self):
+        g = figure1_base()
+        # (1, 7) is NOT an edge: diameter 4 (the caption's "longest path goes
+        # from 8 to 9" — our n+1, n+2)
+        gp = diameter_gadget(g, 1, 7)
+        assert diameter(gp) == 4
+        # (1, 2) IS an edge: diameter 3
+        assert diameter(diameter_gadget(g, 1, 2)) <= 3
+
+    def test_iff_property_all_pairs(self):
+        g = erdos_renyi(8, 0.35, seed=11)
+        for s in range(1, 9):
+            for t in range(s + 1, 9):
+                gp = diameter_gadget(g, s, t)
+                if g.has_edge(s, t):
+                    assert diameter(gp) <= 3
+                else:
+                    assert diameter(gp) == 4
+
+    def test_structure(self):
+        g = figure1_base()
+        gp = diameter_gadget(g, 1, 7)
+        assert gp.n == 10
+        assert gp.neighbors(8) == {1}
+        assert gp.neighbors(9) == {7}
+        assert gp.neighbors(10) == set(range(1, 8))
+
+    def test_works_on_disconnected_inputs(self):
+        """The universal vertex makes G' connected even when G is not."""
+        from repro.graphs import LabeledGraph
+
+        g = LabeledGraph(6, [(1, 2), (4, 5)])
+        gp = diameter_gadget(g, 3, 6)
+        assert diameter(gp) == 4  # finite, and (3,6) not an edge
+
+
+class TestTriangleGadget:
+    """Figure 2: on triangle-free G, K3 in G'_{s,t} iff {s,t} ∈ E."""
+
+    def test_figure2_instance(self):
+        g = figure2_base()
+        assert has_triangle(triangle_gadget(g, 2, 7))      # (2,7) ∈ E
+        assert not has_triangle(triangle_gadget(g, 1, 7))  # (1,7) ∉ E
+
+    def test_iff_property_all_pairs(self):
+        g = random_bipartite(5, 5, 0.4, seed=2)
+        for s in range(1, 11):
+            for t in range(s + 1, 11):
+                assert has_triangle(triangle_gadget(g, s, t)) == g.has_edge(s, t)
+
+    def test_structure(self):
+        g = figure2_base()
+        gp = triangle_gadget(g, 2, 7)
+        assert gp.n == 8 and gp.neighbors(8) == {2, 7}
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(3, 9), p=st.floats(0.1, 0.6), seed=st.integers(0, 999), data=st.data())
+def test_gadget_iff_properties_random(n, p, seed, data):
+    """Property: all three gadget equivalences hold on random admissible inputs."""
+    s = data.draw(st.integers(1, n))
+    t = data.draw(st.integers(1, n).filter(lambda x: x != s))
+    g_any = erdos_renyi(n, p, seed=seed)
+    gp = diameter_gadget(g_any, s, t)
+    assert (diameter(gp) <= 3) == g_any.has_edge(s, t)
+
+    g_sf = random_square_free(n, p, seed=seed)
+    assert has_square(square_gadget(g_sf, s, t)) == g_sf.has_edge(s, t)
+
+    a = n // 2
+    g_bip = random_bipartite(a, n - a, p, seed=seed)
+    assert has_triangle(triangle_gadget(g_bip, s, t)) == g_bip.has_edge(s, t)

@@ -1,0 +1,83 @@
+"""Cross-protocol integration matrix.
+
+One corpus of graphs, every applicable protocol, ground truth checked for
+each — the library-level contract a downstream user relies on.  Each
+(protocol, graph) cell runs a full referee round through the real message
+path (serialize → deliver → deserialize).
+"""
+
+import pytest
+
+from repro.graphs import LabeledGraph, degeneracy, is_connected
+from repro.graphs.generators import (
+    apollonian,
+    disjoint_union,
+    erdos_renyi,
+    grid_2d,
+    path_graph,
+    random_forest,
+    random_tree,
+    star_graph,
+)
+from repro.model import Referee
+from repro.protocols import (
+    BoundedDegreeProtocol,
+    DegeneracyRecognitionProtocol,
+    DegeneracyReconstructionProtocol,
+    ForestReconstructionProtocol,
+    GeneralizedDegeneracyProtocol,
+    PartitionConnectivityProtocol,
+)
+from repro.protocols.trivial import FullAdjacencyProtocol
+from repro.sketching import AGMConnectivityProtocol
+
+CORPUS = {
+    "tree": random_tree(24, seed=1),
+    "forest": random_forest(24, 4, seed=2),
+    "star": star_graph(24),
+    "grid": grid_2d(5, 5),
+    "planar": apollonian(24, seed=3),
+    "sparse-er": erdos_renyi(24, 0.12, seed=4),
+    "two-comps": disjoint_union(path_graph(12), path_graph(12)),
+    "edgeless": LabeledGraph(12),
+}
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_reconstruction_protocols_agree(name):
+    g = CORPUS[name]
+    k = max(1, degeneracy(g))
+    reference = FullAdjacencyProtocol().reconstruct(g)
+    assert reference == g
+    assert DegeneracyReconstructionProtocol(k).reconstruct(g) == g
+    assert GeneralizedDegeneracyProtocol(k).reconstruct(g) == g
+    delta = max(g.degrees() or [0])
+    assert BoundedDegreeProtocol(max(delta, 1)).reconstruct(g) == g
+    if degeneracy(g) <= 1:
+        assert ForestReconstructionProtocol().reconstruct(g) == g
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_decision_protocols_match_ground_truth(name):
+    g = CORPUS[name]
+    k = max(1, degeneracy(g))
+    assert DegeneracyRecognitionProtocol(k).decide(g) is True
+    if k > 1:
+        assert DegeneracyRecognitionProtocol(k - 1).decide(g) is False
+    truth = is_connected(g)
+    assert AGMConnectivityProtocol(seed=7).decide(g) == truth
+    assert PartitionConnectivityProtocol(4).run(g).connected == truth
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_referee_reports_are_consistent(name):
+    g = CORPUS[name]
+    k = max(1, degeneracy(g))
+    report = Referee(shuffle_delivery=True, shuffle_seed=3).run(
+        DegeneracyReconstructionProtocol(k), g
+    )
+    assert report.output == g
+    assert report.n == g.n
+    assert len(report.per_vertex_bits) == g.n
+    assert report.total_message_bits == sum(report.per_vertex_bits)
+    assert report.max_message_bits == max(report.per_vertex_bits, default=0)
