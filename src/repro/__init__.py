@@ -15,7 +15,11 @@ from scratch, everything the paper builds on it:
 * the conclusion's **partition connectivity** scheme and — answering the
   paper's main open question with the technique the field later adopted —
   **AGM linear-sketch connectivity** in one round and in the multi-round
-  variant.
+  variant;
+* the **execution engine** (:mod:`repro.engine`): serial / thread / process
+  executors that batch local-phase calls and fan out whole runs, a
+  fault-injection model for the node→referee link, and a declarative
+  scenario/campaign layer with content-hash caching and JSONL results.
 
 Quickstart::
 
@@ -30,7 +34,8 @@ Quickstart::
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record; ``python -m repro list`` enumerates the runnable
-experiments.
+experiments and builtin campaigns, and README.md shows the five-line
+campaign quickstart.
 """
 
 from repro.errors import (
@@ -65,8 +70,21 @@ from repro.protocols import (
 )
 from repro.reductions import SquareReduction, DiameterReduction, TriangleReduction
 from repro.sketching import AGMConnectivityProtocol
+from repro.engine import (
+    Executor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    ProcessPoolExecutor,
+    FaultSpec,
+    Scenario,
+    RunSpec,
+    RunRecord,
+    Campaign,
+    builtin_campaign,
+    load_campaign,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -99,4 +117,15 @@ __all__ = [
     "DiameterReduction",
     "TriangleReduction",
     "AGMConnectivityProtocol",
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "FaultSpec",
+    "Scenario",
+    "RunSpec",
+    "RunRecord",
+    "Campaign",
+    "builtin_campaign",
+    "load_campaign",
 ]

@@ -1,5 +1,12 @@
 """``python -m repro`` entry point."""
 
+import sys
+
 from repro.cli import main
 
-raise SystemExit(main())
+try:
+    code = main()
+except BrokenPipeError:  # e.g. `python -m repro list | head`
+    sys.stderr.close()
+    code = 0
+raise SystemExit(code)

@@ -1,53 +1,165 @@
-"""Command-line interface: regenerate any experiment table.
+"""Command-line interface: experiments and campaigns.
 
 Usage::
 
-    python -m repro list            # show experiment IDs and docstrings
-    python -m repro EXP-L2          # run one experiment, print its table
-    python -m repro all             # run every experiment
+    python -m repro list                       # experiments + builtin campaigns
+    python -m repro experiment EXP-L2          # run one experiment table
+    python -m repro experiment all --json      # every experiment, as JSON
+    python -m repro campaign smoke             # run a builtin campaign
+    python -m repro campaign spec.json --jobs 4 --executor process
 
-The same tables are written by ``pytest benchmarks/`` into
-``benchmarks/results/``; the CLI is for interactive spelunking.
+``python -m repro EXP-L2`` / ``python -m repro all`` remain as aliases for
+the ``experiment`` subcommand so existing scripts keep working.
+
+Experiment tables are also written by ``pytest benchmarks/`` into
+``benchmarks/results/``; campaigns stream JSONL records into ``results/``
+(see DESIGN.md for the record schema).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import EXPERIMENTS, format_table
 
 __all__ = ["main"]
 
+_SUBCOMMANDS = ("list", "experiment", "campaign")
 
-def main(argv: list[str] | None = None) -> int:
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction harness for Becker et al., 'Adding a referee "
         "to an interconnection network' (IPDPS 2011).",
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment ID (e.g. EXP-T5), 'all', or 'list'",
-    )
-    args = parser.parse_args(argv)
+    sub = parser.add_subparsers(dest="command", metavar="{list,experiment,campaign}")
 
-    if args.experiment == "list":
-        for exp_id, fn in EXPERIMENTS.items():
-            doc = (fn.__doc__ or "").strip().splitlines()[0]
-            print(f"{exp_id:12s} {doc}")
+    p_list = sub.add_parser("list", help="show experiment IDs and builtin campaigns")
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_exp = sub.add_parser("experiment", help="run one experiment table (or 'all')")
+    p_exp.add_argument("experiment", help="experiment ID (e.g. EXP-T5) or 'all'")
+    p_exp.add_argument("--json", action="store_true", help="emit tables as JSON")
+
+    p_camp = sub.add_parser("campaign", help="run a campaign (builtin name or spec.json)")
+    p_camp.add_argument("campaign", help="builtin campaign name or path to a JSON spec")
+    p_camp.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker count for pooled executors (default: all cores)")
+    p_camp.add_argument("--executor", choices=("serial", "thread", "process"),
+                        default="serial", help="execution backend (default: serial)")
+    p_camp.add_argument("--results-dir", default="results", metavar="DIR",
+                        help="where JSONL records and the cache live (default: results/)")
+    p_camp.add_argument("--no-cache", action="store_true",
+                        help="recompute every run, ignoring cached results")
+    p_camp.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.engine import BUILTIN_CAMPAIGNS
+
+    if args.json:
+        payload = {
+            "experiments": [
+                {"id": exp_id, "title": (fn.__doc__ or "").strip().splitlines()[0]}
+                for exp_id, fn in EXPERIMENTS.items()
+            ],
+            "campaigns": sorted(BUILTIN_CAMPAIGNS),
+        }
+        print(json.dumps(payload, indent=2))
         return 0
+    print("experiments:")
+    for exp_id, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:12s} {doc}")
+    print("campaigns:")
+    for name in sorted(BUILTIN_CAMPAIGNS):
+        print(f"  {name}")
+    return 0
 
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    tables = []
     for exp_id in ids:
         title, headers, rows = EXPERIMENTS[exp_id]()
-        print(format_table(title, headers, rows))
+        if args.json:
+            tables.append({"id": exp_id, "title": title, "headers": headers,
+                           "rows": [list(r) for r in rows]})
+        else:
+            print(format_table(title, headers, rows))
+    if args.json:
+        print(json.dumps(tables, indent=2, default=str))
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.engine import load_campaign, make_executor
+
+    try:
+        campaign = load_campaign(
+            args.campaign, results_dir=args.results_dir, use_cache=not args.no_cache
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:  # malformed JSON / wrong-typed fields
+        print(f"error: cannot parse {args.campaign}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.executor == "serial" and args.jobs is not None:
+        print("note: --jobs has no effect with the serial executor "
+              "(use --executor thread|process)", file=sys.stderr)
+    try:
+        executor = make_executor(args.executor, args.jobs)
+    except ReproError as exc:  # e.g. --jobs 0
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with executor:
+        result = campaign.run(executor)
+
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"campaign {summary['campaign']}: {summary['runs']} runs "
+          f"({summary['cache_hits']} cached) via {summary['executor']} "
+          f"in {summary['wall_seconds']}s")
+    for status, count in sorted(summary["statuses"].items()):
+        print(f"  {status:10s} {count}")
+    if summary["exact"] or summary["inexact"]:
+        print(f"  exact      {summary['exact']}/{summary['exact'] + summary['inexact']}")
+    if summary["jsonl"]:
+        print(f"  records -> {summary['jsonl']}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `python -m repro EXP-T5` / `all` mean `experiment <id>`.
+    if argv and argv[0] not in _SUBCOMMANDS and not argv[0].startswith("-"):
+        argv.insert(0, "experiment")
+
+    parser = _build_parser()
+    if not argv:
+        parser.print_usage(sys.stderr)
+        print("repro: error: a subcommand is required", file=sys.stderr)
+        return 2
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return _cmd_campaign(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,81 @@
+"""repro.engine — batched parallel execution and scenario campaigns.
+
+The referee model is embarrassingly parallel twice over: within one round
+every ``Γ^l_n(i, N(i))`` call is independent, and across a study every
+``(graph, protocol, seed)`` run is independent.  This package exploits
+both:
+
+* :mod:`~repro.engine.executor` — the :class:`Executor` interface with
+  serial, thread-pool, and process-pool backends; plugs into
+  :class:`~repro.model.referee.Referee` (``executor=``) to batch local
+  calls, and into campaigns to fan out whole runs across cores;
+* :mod:`~repro.engine.faults` — dropped / duplicated / bit-flipped
+  messages on the node→referee link, so protocol robustness is a
+  measurable scenario rather than an assumption;
+* :mod:`~repro.engine.scenario` — declarative :class:`Scenario` grids
+  (graph family × sizes × protocol × seeds × referee options) expanded
+  into small picklable :class:`RunSpec` records, plus the worker-side
+  :func:`execute_run`;
+* :mod:`~repro.engine.campaign` — the :class:`Campaign` runner: grid
+  expansion, content-hash result caching, JSONL persistence under
+  ``results/``, and the builtin campaigns the CLI exposes as
+  ``python -m repro campaign <name>``.
+
+Reproducibility contract: every random draw anywhere in the engine comes
+from a per-run ``random.Random`` seeded by the spec; the global ``random``
+module is never read or written (``tests/engine/test_no_global_rng.py``
+enforces this), so a campaign's JSONL is byte-stable modulo timing across
+backends, machines, and worker schedules.
+"""
+
+from repro.engine.executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    default_jobs,
+    make_executor,
+)
+from repro.engine.faults import FaultCounters, FaultInjector, FaultSpec
+from repro.engine.scenario import (
+    GRAPH_FAMILIES,
+    PROTOCOL_BUILDERS,
+    RunRecord,
+    RunSpec,
+    Scenario,
+    execute_run,
+    output_digest,
+)
+from repro.engine.campaign import (
+    BUILTIN_CAMPAIGNS,
+    Campaign,
+    CampaignResult,
+    builtin_campaign,
+    load_campaign,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "EXECUTOR_KINDS",
+    "default_jobs",
+    "make_executor",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultCounters",
+    "GRAPH_FAMILIES",
+    "PROTOCOL_BUILDERS",
+    "Scenario",
+    "RunSpec",
+    "RunRecord",
+    "execute_run",
+    "output_digest",
+    "Campaign",
+    "CampaignResult",
+    "BUILTIN_CAMPAIGNS",
+    "builtin_campaign",
+    "load_campaign",
+]

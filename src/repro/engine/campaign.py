@@ -1,0 +1,346 @@
+"""Campaigns: expand scenario grids, fan out runs, cache and persist results.
+
+A :class:`Campaign` is a named list of :class:`~repro.engine.scenario.Scenario`
+blocks.  :meth:`Campaign.run`:
+
+1. expands every scenario into :class:`~repro.engine.scenario.RunSpec`
+   values and deduplicates them by content hash (grids often overlap —
+   identical work is done once);
+2. replays cache hits from ``<results_dir>/cache/<hash>.json`` (the hash
+   covers the spec and :data:`~repro.engine.scenario.SPEC_VERSION`, so a
+   semantics bump invalidates stale entries);
+3. fans the misses out through any :class:`~repro.engine.executor.Executor`;
+4. streams every record, in deterministic spec order, to
+   ``<results_dir>/<name>.jsonl`` — one JSON object per line with
+   ``spec`` / ``result`` / ``timing`` sections, ``sort_keys`` so the bytes
+   are stable (the determinism test strips only ``timing`` and ``cached``).
+
+Campaign specs are plain JSON (see :func:`load_campaign`)::
+
+    {"name": "my-sweep",
+     "scenarios": [
+       {"name": "deg-k2", "family": "random_k_degenerate", "sizes": [64, 128],
+        "protocol": "degeneracy", "seeds": [0, 1, 2],
+        "family_params": {"k": 2}, "protocol_params": {"k": 2}}]}
+
+Builtin campaigns (:data:`BUILTIN_CAMPAIGNS`) cover the smoke test, the
+reconstruction and connectivity sweeps, the fault-robustness study, and the
+fixed benchmark load used by ``benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.faults import FaultSpec
+from repro.engine.scenario import RunRecord, RunSpec, Scenario, execute_run
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "BUILTIN_CAMPAIGNS",
+    "builtin_campaign",
+    "load_campaign",
+]
+
+
+@dataclass
+class CampaignResult:
+    """What one :meth:`Campaign.run` produced."""
+
+    name: str
+    records: list[RunRecord]
+    jsonl_path: pathlib.Path | None
+    cache_hits: int
+    cache_misses: int
+    executor_kind: str
+    wall_seconds: float
+
+    @property
+    def ok(self) -> int:
+        """Number of runs that completed without violation or error."""
+        return sum(1 for r in self.records if r.status == "ok")
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view for the CLI."""
+        statuses: dict[str, int] = {}
+        for r in self.records:
+            statuses[r.status] = statuses.get(r.status, 0) + 1
+        exact = [r.exact for r in self.records if r.exact is not None]
+        return {
+            "campaign": self.name,
+            "runs": len(self.records),
+            "statuses": statuses,
+            "exact": sum(exact),
+            "inexact": len(exact) - sum(exact),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executor": self.executor_kind,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "jsonl": str(self.jsonl_path) if self.jsonl_path else None,
+        }
+
+
+class Campaign:
+    """A named grid of scenarios plus the run/cache/persist machinery.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenario blocks; expanded in order.
+    name:
+        Campaign name; also the JSONL file stem.
+    results_dir:
+        Where the JSONL and the cache live; created on demand.  ``None``
+        disables persistence entirely (records are only returned).
+    use_cache:
+        When set (and ``results_dir`` is given), finished runs are stored
+        under ``cache/`` and replayed on the next expansion of an
+        identical spec.
+    """
+
+    def __init__(
+        self,
+        scenarios: Iterable[Scenario],
+        *,
+        name: str = "campaign",
+        results_dir: str | pathlib.Path | None = "results",
+        use_cache: bool = True,
+    ) -> None:
+        self.scenarios = list(scenarios)
+        if not self.scenarios:
+            raise ProtocolError("a campaign needs at least one scenario")
+        self.name = name
+        self.results_dir = pathlib.Path(results_dir) if results_dir is not None else None
+        self.use_cache = use_cache and self.results_dir is not None
+
+    # ------------------------------------------------------------------ #
+    # expansion and caching
+    # ------------------------------------------------------------------ #
+
+    def specs(self) -> list[RunSpec]:
+        """The full grid, deduplicated by content hash, in stable order."""
+        seen: set[str] = set()
+        out: list[RunSpec] = []
+        for scenario in self.scenarios:
+            for spec in scenario.expand():
+                h = spec.content_hash()
+                if h not in seen:
+                    seen.add(h)
+                    out.append(spec)
+        return out
+
+    def _cache_path(self, spec: RunSpec) -> pathlib.Path:
+        assert self.results_dir is not None
+        return self.results_dir / "cache" / f"{spec.content_hash()}.json"
+
+    def _cache_load(self, spec: RunSpec) -> RunRecord | None:
+        if not self.use_cache:
+            return None
+        path = self._cache_path(spec)
+        if not path.exists():
+            return None
+        try:
+            record = RunRecord.from_json_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError, ProtocolError):
+            return None  # corrupt or stale entry: recompute
+        # The hash covers only the physical run; restamp the requesting
+        # spec so the emitted record carries this campaign's provenance.
+        record.spec = spec
+        record.cached = True
+        return record
+
+    def _cache_store(self, record: RunRecord) -> None:
+        if not self.use_cache:
+            return
+        path = self._cache_path(record.spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stored = record.to_json_dict()
+        stored["cached"] = False  # replays mark themselves at load time
+        path.write_text(json.dumps(stored, sort_keys=True))
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+
+    def run(self, executor: Executor | None = None) -> CampaignResult:
+        """Execute the whole grid and persist the JSONL record stream."""
+        t0 = time.perf_counter()
+        executor = executor or SerialExecutor()
+        specs = self.specs()
+
+        slots: list[RunRecord | None] = [self._cache_load(s) for s in specs]
+        misses = [(i, s) for i, (s, r) in enumerate(zip(specs, slots)) if r is None]
+        fresh = executor.map(execute_run, [s for _, s in misses]) if misses else []
+        for (i, _), record in zip(misses, fresh):
+            self._cache_store(record)
+            slots[i] = record
+        records = [r for r in slots if r is not None]
+
+        jsonl_path = None
+        if self.results_dir is not None:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+            jsonl_path = self.results_dir / f"{self.name}.jsonl"
+            with jsonl_path.open("w") as fh:
+                for record in records:
+                    fh.write(json.dumps(record.to_json_dict(), sort_keys=True) + "\n")
+
+        return CampaignResult(
+            name=self.name,
+            records=records,
+            jsonl_path=jsonl_path,
+            cache_hits=len(specs) - len(misses),
+            cache_misses=len(misses),
+            executor_kind=executor.kind,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON object form (inverse of :meth:`from_dict`)."""
+        return {"name": self.name, "scenarios": [s.to_dict() for s in self.scenarios]}
+
+    @classmethod
+    def from_dict(
+        cls,
+        d: Mapping[str, Any],
+        *,
+        results_dir: str | pathlib.Path | None = "results",
+        use_cache: bool = True,
+    ) -> "Campaign":
+        """Build from a JSON object with ``name`` and ``scenarios`` keys."""
+        if "scenarios" not in d or not d["scenarios"]:
+            raise ProtocolError("campaign spec needs a non-empty 'scenarios' list")
+        return cls(
+            [Scenario.from_dict(s) for s in d["scenarios"]],
+            name=str(d.get("name", "campaign")),
+            results_dir=results_dir,
+            use_cache=use_cache,
+        )
+
+
+# --------------------------------------------------------------------- #
+# builtin campaigns
+# --------------------------------------------------------------------- #
+
+
+def _builtin_smoke() -> list[Scenario]:
+    """Seconds-long sanity sweep touching reconstruction, sketching, faults."""
+    return [
+        Scenario(name="smoke-forest", family="random_forest", sizes=(12, 16),
+                 protocol="forest", seeds=(0, 1)),
+        Scenario(name="smoke-degeneracy", family="random_k_degenerate", sizes=(16,),
+                 protocol="degeneracy", seeds=(0,),
+                 family_params={"k": 2}, protocol_params={"k": 2}),
+        Scenario(name="smoke-connectivity", family="two_components", sizes=(16,),
+                 protocol="agm_connectivity", seeds=(0,), shuffle_delivery=True),
+        Scenario(name="smoke-faulty", family="random_forest", sizes=(12,),
+                 protocol="forest", seeds=(0, 1),
+                 faults=FaultSpec(drop=0.2, flip=0.2, seed=7)),
+    ]
+
+
+def _builtin_degeneracy_sweep() -> list[Scenario]:
+    """Theorem 5 at campaign scale: k ∈ {1,2,3} across sizes and seeds."""
+    return [
+        Scenario(name=f"deg-k{k}", family="random_k_degenerate", sizes=(64, 128, 256),
+                 protocol="degeneracy", seeds=(0, 1, 2, 3),
+                 family_params={"k": k}, protocol_params={"k": k})
+        for k in (1, 2, 3)
+    ]
+
+
+def _builtin_connectivity_sweep() -> list[Scenario]:
+    """AGM sketch accuracy: connected vs two-component inputs, many seeds."""
+    sketch_seeds = tuple(range(8))
+    return [
+        Scenario(name="conn-tree", family="random_tree", sizes=(32, 64, 128),
+                 protocol="agm_connectivity", seeds=(0, 1),
+                 protocol_params={"sketch_seed": s})
+        for s in sketch_seeds
+    ] + [
+        Scenario(name="conn-split", family="two_components", sizes=(32, 64, 128),
+                 protocol="agm_connectivity", seeds=(0, 1),
+                 protocol_params={"sketch_seed": s})
+        for s in sketch_seeds
+    ]
+
+
+def _builtin_faults() -> list[Scenario]:
+    """Robustness: reconstruction and sketching under increasing fault rates."""
+    out = []
+    for rate in (0.01, 0.05, 0.2):
+        fs = FaultSpec(drop=rate, duplicate=rate, flip=rate, seed=11)
+        out.append(Scenario(name=f"faulty-forest-{rate}", family="random_forest",
+                            sizes=(32, 64), protocol="forest", seeds=(0, 1, 2), faults=fs))
+        out.append(Scenario(name=f"faulty-deg-{rate}", family="random_k_degenerate",
+                            sizes=(32, 64), protocol="degeneracy", seeds=(0, 1, 2),
+                            family_params={"k": 2}, protocol_params={"k": 2}, faults=fs))
+        out.append(Scenario(name=f"faulty-conn-{rate}", family="random_tree",
+                            sizes=(32, 64), protocol="agm_connectivity", seeds=(0, 1, 2),
+                            faults=fs))
+    return out
+
+
+def _builtin_bench() -> list[Scenario]:
+    """The fixed load bench_engine.py times: 32 reconstructions at n=512."""
+    return [
+        Scenario(name="bench-deg", family="random_k_degenerate", sizes=(512,),
+                 protocol="degeneracy", seeds=tuple(range(32)),
+                 family_params={"k": 2}, protocol_params={"k": 2}),
+    ]
+
+
+BUILTIN_CAMPAIGNS: dict[str, Any] = {
+    "smoke": _builtin_smoke,
+    "degeneracy-sweep": _builtin_degeneracy_sweep,
+    "connectivity-sweep": _builtin_connectivity_sweep,
+    "faults": _builtin_faults,
+    "bench": _builtin_bench,
+}
+
+
+def builtin_campaign(
+    name: str,
+    *,
+    results_dir: str | pathlib.Path | None = "results",
+    use_cache: bool = True,
+) -> Campaign:
+    """Instantiate a builtin campaign by name."""
+    try:
+        scenarios = BUILTIN_CAMPAIGNS[name]()
+    except KeyError:
+        raise ProtocolError(
+            f"unknown builtin campaign {name!r}; known: {', '.join(BUILTIN_CAMPAIGNS)}"
+        ) from None
+    return Campaign(scenarios, name=name, results_dir=results_dir, use_cache=use_cache)
+
+
+def load_campaign(
+    source: str | pathlib.Path,
+    *,
+    results_dir: str | pathlib.Path | None = "results",
+    use_cache: bool = True,
+) -> Campaign:
+    """A builtin name, or a path to a JSON campaign spec."""
+    if isinstance(source, str) and source in BUILTIN_CAMPAIGNS:
+        return builtin_campaign(source, results_dir=results_dir, use_cache=use_cache)
+    path = pathlib.Path(source)
+    if not path.exists():
+        raise ProtocolError(
+            f"{source!r} is neither a builtin campaign ({', '.join(BUILTIN_CAMPAIGNS)}) "
+            "nor an existing spec file"
+        )
+    return Campaign.from_dict(
+        json.loads(path.read_text()), results_dir=results_dir, use_cache=use_cache
+    )

@@ -1,0 +1,214 @@
+"""Execution backends: batch local-phase calls, fan out whole runs.
+
+The referee model is embarrassingly parallel at two granularities:
+
+* **within one round** — ``Γ^l_n(i, N(i))`` is a pure function per vertex,
+  so the n local calls can be evaluated in batches on any backend
+  (:meth:`Executor.map_local`); the referee then re-indexes by ID exactly
+  as Definition 1 prescribes, so the outcome is independent of which
+  worker evaluated which batch;
+* **across runs** — a campaign is a grid of independent ``(graph,
+  protocol, seed)`` runs; :meth:`Executor.map` fans complete runs out to
+  workers (:mod:`repro.engine.campaign` sends picklable
+  :class:`~repro.engine.scenario.RunSpec` values, so process workers
+  rebuild graphs locally instead of deserializing them).
+
+Three backends share the :class:`Executor` interface:
+
+* :class:`SerialExecutor` — plain loop; the reference semantics.  A serial
+  engine run is bit-for-bit identical to ``Referee.run`` (tested).
+* :class:`ThreadPoolExecutor` — threads; useful when the local/global
+  functions release the GIL (numpy-heavy sketches) or for IO-bound result
+  sinks, and as a sanity point between serial and processes.
+* :class:`ProcessPoolExecutor` — processes; the backend that actually
+  saturates cores on pure-Python protocol code.
+
+All three preserve input order in their results, which keeps campaign
+output deterministic regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
+
+from repro.errors import ProtocolError
+from repro.graphs.labeled import LabeledGraph
+from repro.model.message import Message
+from repro.model.protocol import OneRoundProtocol
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "default_jobs",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: one per visible core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _chunk_ids(ids: Sequence[int], n_chunks: int) -> list[list[int]]:
+    """Split ``ids`` into at most ``n_chunks`` contiguous, ordered batches."""
+    n_chunks = max(1, min(n_chunks, len(ids)))
+    size, extra = divmod(len(ids), n_chunks)
+    chunks, start = [], 0
+    for c in range(n_chunks):
+        end = start + size + (1 if c < extra else 0)
+        chunks.append(list(ids[start:end]))
+        start = end
+    return chunks
+
+
+def _local_batch(
+    args: tuple[OneRoundProtocol, LabeledGraph, list[int]]
+) -> list[tuple[int, Message]]:
+    """Evaluate one batch of local calls (module-level: picklable)."""
+    protocol, g, ids = args
+    return [(i, protocol.local(g.n, i, g.neighbors(i))) for i in ids]
+
+
+class Executor(ABC):
+    """Common interface over the serial, thread, and process backends."""
+
+    #: Backend name used by the CLI and in campaign records.
+    kind: str = "executor"
+
+    #: Worker count (1 for the serial backend).
+    jobs: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        Exceptions raised by ``fn`` propagate to the caller (the first one,
+        for pooled backends).
+        """
+
+    def map_local(
+        self, protocol: OneRoundProtocol, g: LabeledGraph, *, batches_per_job: int = 4
+    ) -> list[tuple[int, Message]]:
+        """The whole local phase of one round, as ``(id, message)`` pairs.
+
+        Vertices are split into contiguous ID-ordered batches (a few per
+        worker so stragglers rebalance); results are concatenated back in
+        ID order, so every backend returns the exact list the serial loop
+        produces.
+        """
+        ids = list(g.vertices())
+        if not ids:
+            return []
+        chunks = _chunk_ids(ids, self.jobs * batches_per_job)
+        results = self.map(_local_batch, [(protocol, g, chunk) for chunk in chunks])
+        return [pair for batch in results for pair in batch]
+
+    def close(self) -> None:
+        """Release pooled workers; the serial backend has nothing to do."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain in-process loop."""
+
+    kind = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def map_local(
+        self, protocol: OneRoundProtocol, g: LabeledGraph, *, batches_per_job: int = 4
+    ) -> list[tuple[int, Message]]:
+        # One batch, no chunking bookkeeping — identical to Referee's loop.
+        return _local_batch((protocol, g, list(g.vertices())))
+
+
+class _PooledExecutor(Executor):
+    """Shared plumbing for the two concurrent.futures-backed executors."""
+
+    _pool_factory: Callable[..., concurrent.futures.Executor]
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ProtocolError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or default_jobs()
+        self._pool: concurrent.futures.Executor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.Executor:
+        if self._pool is None:
+            self._pool = type(self)._pool_factory(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolExecutor(_PooledExecutor):
+    """Thread-backed executor (GIL-bound for pure-Python local functions)."""
+
+    kind = "thread"
+    _pool_factory = concurrent.futures.ThreadPoolExecutor
+
+
+class ProcessPoolExecutor(_PooledExecutor):
+    """Process-backed executor — the backend that saturates cores.
+
+    Work functions and their arguments must be picklable; the campaign
+    layer sends :class:`~repro.engine.scenario.RunSpec` values (graphs are
+    rebuilt inside the worker), and :meth:`Executor.map_local` sends
+    ``(protocol, graph, ids)`` batches.
+    """
+
+    kind = "process"
+    _pool_factory = concurrent.futures.ProcessPoolExecutor
+
+
+#: CLI-selectable backends by name.
+EXECUTOR_KINDS: dict[str, type[Executor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadPoolExecutor,
+    "process": ProcessPoolExecutor,
+}
+
+
+def make_executor(kind: str, jobs: int | None = None) -> Executor:
+    """Instantiate a backend by name (``serial``/``thread``/``process``).
+
+    ``jobs`` is validated for every kind; the serial backend always runs
+    with one worker (callers wanting parallelism must pick a pooled kind).
+    """
+    try:
+        cls = EXECUTOR_KINDS[kind]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown executor kind {kind!r}; known: {', '.join(EXECUTOR_KINDS)}"
+        ) from None
+    if jobs is not None and jobs < 1:
+        raise ProtocolError(f"jobs must be >= 1, got {jobs}")
+    if cls is SerialExecutor:
+        return cls()
+    return cls(jobs)

@@ -1,0 +1,152 @@
+"""Fault injection between the local and the global phase.
+
+The paper's network is reliable: the referee "simply waits for all n
+messages".  Real interconnects drop frames, deliver duplicates, and flip
+bits, so robustness of the reconstruction protocols and the AGM sketches is
+a scenario worth measuring.  This module models exactly the transit leg —
+what happens to each message *after* the node sent it (so frugality budgets
+are audited on the sent message) and *before* the referee indexes the
+n-vector by ID.
+
+Three independent per-message fault channels, applied in ID order so the
+draw sequence is reproducible:
+
+* **drop** — the message never arrives; the referee sees the zero-bit
+  message from that node (Definition 1 still hands ``Γ^g_n`` an n-vector).
+* **duplicate** — the message arrives twice; the referee keeps the last
+  arrival.  Each copy traverses the flip channel independently, so a
+  duplicate is only observable when a flip disagrees between copies (or in
+  the delivered-bit accounting).
+* **flip** — one uniformly random bit of the delivered copy is inverted.
+
+All randomness comes from a dedicated :class:`random.Random` stream seeded
+from ``(spec.seed, run_seed)``; the global ``random`` module is never
+touched (see ``tests/engine/test_no_global_rng.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.model.message import Message
+
+__all__ = ["FaultSpec", "FaultCounters", "FaultInjector"]
+
+
+def _check_prob(name: str, p: float) -> None:
+    if not (isinstance(p, (int, float)) and 0.0 <= p <= 1.0):
+        raise ProtocolError(f"fault probability {name} must be in [0, 1], got {p!r}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of a lossy transit leg.
+
+    Probabilities are per message (``drop``, ``duplicate``) or per delivered
+    copy (``flip``).  ``seed`` names the fault stream; combined with the
+    per-run seed it fully determines every draw.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    flip: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_prob("drop", self.drop)
+        _check_prob("duplicate", self.duplicate)
+        _check_prob("flip", self.flip)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this spec can never alter a message vector."""
+        return self.drop == 0.0 and self.duplicate == 0.0 and self.flip == 0.0
+
+    def injector(self, run_seed: int = 0) -> "FaultInjector":
+        """A fresh injector whose stream is ``(self.seed, run_seed)``."""
+        return FaultInjector(self, run_seed=run_seed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "flip": self.flip,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        """Build from a JSON object; unknown keys are rejected."""
+        unknown = set(d) - {"drop", "duplicate", "flip", "seed"}
+        if unknown:
+            raise ProtocolError(f"unknown FaultSpec keys: {sorted(unknown)}")
+        return cls(**d)
+
+
+@dataclass
+class FaultCounters:
+    """What the transit leg actually did to one message vector."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    flipped: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of fault events."""
+        return self.dropped + self.duplicated + self.flipped
+
+
+class FaultInjector:
+    """Applies one :class:`FaultSpec` to tagged message vectors.
+
+    The injector owns a private :class:`random.Random`; each
+    :meth:`apply` continues the same stream, so an injector shared across
+    runs yields correlated faults — campaigns build one injector per run.
+    """
+
+    def __init__(self, spec: FaultSpec, *, run_seed: int = 0) -> None:
+        self.spec = spec
+        self.run_seed = run_seed
+        # A string seed routes through SHA-512 inside Random, giving the
+        # same stream on every platform and in every worker process.
+        self._rng = random.Random(f"repro.faults:{spec.seed}:{run_seed}")
+
+    def _flip_one_bit(self, msg: Message) -> Message:
+        if msg.bits == 0:
+            return msg
+        pos = self._rng.randrange(msg.bits)
+        return Message(msg.acc ^ (1 << pos), msg.bits)
+
+    def _deliver_copy(self, msg: Message, counters: FaultCounters) -> Message:
+        if self.spec.flip and self._rng.random() < self.spec.flip:
+            flipped = self._flip_one_bit(msg)
+            if flipped is not msg:
+                counters.flipped += 1
+            return flipped
+        return msg
+
+    def apply(
+        self, tagged: list[tuple[int, Message]]
+    ) -> tuple[list[tuple[int, Message]], FaultCounters]:
+        """Run every message through the faulty link, in ID order.
+
+        Returns the delivered ``(id, message)`` list (same length and order
+        — the referee re-indexes by ID anyway) plus the event counters.
+        """
+        counters = FaultCounters()
+        delivered: list[tuple[int, Message]] = []
+        for i, msg in tagged:
+            if self.spec.drop and self._rng.random() < self.spec.drop:
+                counters.dropped += 1
+                delivered.append((i, Message.empty()))
+                continue
+            out = self._deliver_copy(msg, counters)
+            if self.spec.duplicate and self._rng.random() < self.spec.duplicate:
+                counters.duplicated += 1
+                out = self._deliver_copy(msg, counters)  # last arrival wins
+            delivered.append((i, out))
+        return delivered, counters

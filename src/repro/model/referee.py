@@ -14,12 +14,16 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import FrugalityViolation
 from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import OneRoundProtocol
+
+if TYPE_CHECKING:  # deferred: repro.engine imports this module
+    from repro.engine.executor import Executor
+    from repro.engine.faults import FaultCounters, FaultInjector, FaultSpec
 
 __all__ = ["Referee", "RunReport"]
 
@@ -36,6 +40,8 @@ class RunReport:
     local_seconds: float
     global_seconds: float
     per_vertex_bits: tuple[int, ...] = field(repr=False, default=())
+    #: Transit-fault event counts; ``None`` unless fault injection was on.
+    fault_counters: "FaultCounters | None" = None
 
     @property
     def mean_message_bits(self) -> float:
@@ -58,6 +64,19 @@ class Referee:
         indexes messages by ID, so this is a no-op by construction — the
         flag exists so tests can assert the simulator doesn't smuggle
         ordering information.
+    executor:
+        Optional :class:`~repro.engine.executor.Executor` that batches the
+        per-node ``local`` calls.  The default (``None``) keeps the
+        original in-process loop, bit-for-bit; any backend yields the same
+        report because messages are re-indexed by ID.
+    faults:
+        Optional :class:`~repro.engine.faults.FaultSpec` (or a prebuilt
+        injector) modelling a lossy link between the local and global
+        phases.  Frugality budgets audit the *sent* message; bit counts in
+        the report measure what the referee *received*.
+    fault_seed:
+        Per-run component of the fault stream (combined with the spec's
+        own seed), so campaigns get independent but reproducible faults.
     """
 
     def __init__(
@@ -66,26 +85,56 @@ class Referee:
         budget_bits: int | None = None,
         shuffle_delivery: bool = False,
         shuffle_seed: int | None = None,
+        executor: "Executor | None" = None,
+        faults: "FaultSpec | FaultInjector | None" = None,
+        fault_seed: int = 0,
     ) -> None:
         self.budget_bits = budget_bits
         self.shuffle_delivery = shuffle_delivery
         self.shuffle_seed = shuffle_seed
+        self.executor = executor
+        self.faults = faults
+        self.fault_seed = fault_seed
+
+    def _check_budget(self, protocol: OneRoundProtocol, i: int, msg: Message) -> None:
+        if self.budget_bits is not None and msg.bits > self.budget_bits:
+            raise FrugalityViolation(
+                f"{protocol.name}: node {i} sent {msg.bits} bits, budget {self.budget_bits}",
+                vertex=i,
+                bits=msg.bits,
+                budget=self.budget_bits,
+            )
+
+    def _make_injector(self) -> "FaultInjector | None":
+        if self.faults is None:
+            return None
+        from repro.engine.faults import FaultSpec
+
+        if isinstance(self.faults, FaultSpec):
+            if self.faults.is_noop:
+                return None
+            return self.faults.injector(self.fault_seed)
+        return self.faults
 
     def run(self, protocol: OneRoundProtocol, g: LabeledGraph) -> RunReport:
         """Execute one full round of ``protocol`` on ``g``."""
         t0 = time.perf_counter()
         tagged: list[tuple[int, Message]] = []
-        for i in g.vertices():
-            msg = protocol.local(g.n, i, g.neighbors(i))
-            if self.budget_bits is not None and msg.bits > self.budget_bits:
-                raise FrugalityViolation(
-                    f"{protocol.name}: node {i} sent {msg.bits} bits, budget {self.budget_bits}",
-                    vertex=i,
-                    bits=msg.bits,
-                    budget=self.budget_bits,
-                )
-            tagged.append((i, msg))
+        if self.executor is None:
+            for i in g.vertices():
+                msg = protocol.local(g.n, i, g.neighbors(i))
+                self._check_budget(protocol, i, msg)
+                tagged.append((i, msg))
+        else:
+            tagged = self.executor.map_local(protocol, g)
+            for i, msg in tagged:
+                self._check_budget(protocol, i, msg)
         t1 = time.perf_counter()
+
+        fault_counters = None
+        injector = self._make_injector()
+        if injector is not None:
+            tagged, fault_counters = injector.apply(tagged)
 
         if self.shuffle_delivery:
             rng = random.Random(self.shuffle_seed)
@@ -107,4 +156,5 @@ class Referee:
             local_seconds=t1 - t0,
             global_seconds=t3 - t2,
             per_vertex_bits=bits,
+            fault_counters=fault_counters,
         )

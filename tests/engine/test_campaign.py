@@ -1,0 +1,193 @@
+"""Campaign runner: dedup, caching, JSONL determinism, spec loading."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    Campaign,
+    FaultSpec,
+    ProcessPoolExecutor,
+    Scenario,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    builtin_campaign,
+    load_campaign,
+)
+from repro.engine.campaign import BUILTIN_CAMPAIGNS
+from repro.errors import ProtocolError
+
+
+def _scenarios():
+    return [
+        Scenario(name="forest", family="random_forest", sizes=(12, 16),
+                 protocol="forest", seeds=(0, 1)),
+        Scenario(name="conn", family="two_components", sizes=(12,),
+                 protocol="agm_connectivity", seeds=(0,)),
+    ]
+
+
+def _strip_nondeterministic(jsonl_text):
+    out = []
+    for line in jsonl_text.splitlines():
+        d = json.loads(line)
+        d.pop("timing")
+        d.pop("cached")
+        out.append(json.dumps(d, sort_keys=True))
+    return out
+
+
+class TestExpansion:
+    def test_overlapping_grids_deduplicate(self, tmp_path):
+        overlapping = _scenarios() + [_scenarios()[0]]  # same block twice
+        campaign = Campaign(overlapping, results_dir=tmp_path)
+        assert len(campaign.specs()) == 5  # 4 forest + 1 connectivity
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ProtocolError, match="at least one scenario"):
+            Campaign([])
+
+    def test_same_physical_run_under_two_names_deduplicates(self, tmp_path):
+        twins = [
+            Scenario(name="alpha", family="random_forest", sizes=(12,),
+                     protocol="forest", seeds=(0,)),
+            Scenario(name="beta", family="random_forest", sizes=(12,),
+                     protocol="forest", seeds=(0,)),
+        ]
+        campaign = Campaign(twins, results_dir=tmp_path)
+        assert len(campaign.specs()) == 1
+        assert campaign.specs()[0].scenario == "alpha"  # first declaration wins
+
+    def test_cache_shared_across_scenario_names(self, tmp_path):
+        first = Campaign(
+            [Scenario(name="alpha", family="random_forest", sizes=(12,),
+                      protocol="forest", seeds=(0,))],
+            name="c1", results_dir=tmp_path).run()
+        second = Campaign(
+            [Scenario(name="beta", family="random_forest", sizes=(12,),
+                      protocol="forest", seeds=(0,))],
+            name="c2", results_dir=tmp_path).run()
+        assert first.cache_misses == 1
+        assert second.cache_hits == 1  # same physical run, different label
+        # the replayed record carries the *requesting* campaign's provenance
+        assert second.records[0].spec.scenario == "beta"
+        assert second.records[0].output_digest == first.records[0].output_digest
+
+
+class TestRun:
+    def test_serial_run_produces_jsonl(self, tmp_path):
+        result = Campaign(_scenarios(), name="t", results_dir=tmp_path).run()
+        assert result.ok == len(result.records) == 5
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert len(lines) == 5
+        first = json.loads(lines[0])
+        assert set(first) == {"spec", "result", "timing", "cached"}
+
+    def test_no_results_dir(self):
+        result = Campaign(_scenarios(), results_dir=None).run()
+        assert result.jsonl_path is None
+        assert len(result.records) == 5
+
+    def test_cache_replay(self, tmp_path):
+        campaign = Campaign(_scenarios(), name="c", results_dir=tmp_path)
+        cold = campaign.run()
+        warm = campaign.run()
+        assert (cold.cache_hits, cold.cache_misses) == (0, 5)
+        assert (warm.cache_hits, warm.cache_misses) == (5, 0)
+        assert all(r.cached for r in warm.records)
+        assert [r.output_digest for r in warm.records] == \
+               [r.output_digest for r in cold.records]
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        campaign = Campaign(_scenarios(), name="c", results_dir=tmp_path)
+        campaign.run()
+        for entry in (tmp_path / "cache").iterdir():
+            entry.write_text("{not json")
+        again = campaign.run()
+        assert again.cache_misses == 5
+
+    def test_use_cache_false(self, tmp_path):
+        campaign = Campaign(_scenarios(), name="c", results_dir=tmp_path, use_cache=False)
+        campaign.run()
+        assert not (tmp_path / "cache").exists()
+        assert campaign.run().cache_hits == 0
+
+
+class TestDeterminism:
+    """Acceptance: same spec + seeds => byte-identical JSONL modulo timing."""
+
+    def test_repeat_runs_byte_identical(self, tmp_path):
+        scenarios = _scenarios() + [
+            Scenario(name="faulty", family="random_forest", sizes=(12,),
+                     protocol="forest", seeds=(0, 1, 2),
+                     faults=FaultSpec(drop=0.3, duplicate=0.3, flip=0.3, seed=4)),
+        ]
+        a = Campaign(scenarios, name="a", results_dir=tmp_path / "a", use_cache=False).run()
+        b = Campaign(scenarios, name="b", results_dir=tmp_path / "b", use_cache=False).run()
+        assert _strip_nondeterministic(a.jsonl_path.read_text()) == \
+               _strip_nondeterministic(b.jsonl_path.read_text())
+
+    @pytest.mark.parametrize("backend", [ThreadPoolExecutor, ProcessPoolExecutor],
+                             ids=["thread", "process"])
+    def test_pooled_backends_match_serial(self, tmp_path, backend):
+        scenarios = _scenarios()
+        serial = Campaign(scenarios, name="s", results_dir=tmp_path / "s",
+                          use_cache=False).run(SerialExecutor())
+        with backend(2) as ex:
+            pooled = Campaign(scenarios, name="p", results_dir=tmp_path / "p",
+                              use_cache=False).run(ex)
+        assert _strip_nondeterministic(serial.jsonl_path.read_text()) == \
+               _strip_nondeterministic(pooled.jsonl_path.read_text())
+
+    def test_cached_payload_matches_fresh(self, tmp_path):
+        campaign = Campaign(_scenarios(), name="c", results_dir=tmp_path)
+        cold = campaign.run()
+        warm = campaign.run()
+        assert _strip_nondeterministic(cold.jsonl_path.read_text()) == \
+               _strip_nondeterministic(warm.jsonl_path.read_text())
+
+
+class TestLoading:
+    def test_builtin_names_all_instantiate(self, tmp_path):
+        for name in BUILTIN_CAMPAIGNS:
+            campaign = builtin_campaign(name, results_dir=tmp_path)
+            assert campaign.specs(), name
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ProtocolError, match="unknown builtin"):
+            builtin_campaign("nope")
+
+    def test_load_from_json_file(self, tmp_path):
+        spec = {
+            "name": "from-file",
+            "scenarios": [
+                {"name": "deg", "family": "random_k_degenerate", "sizes": [16],
+                 "protocol": "degeneracy", "seeds": [0, 1],
+                 "family_params": {"k": 2}, "protocol_params": {"k": 2}},
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        campaign = load_campaign(path, results_dir=tmp_path)
+        result = campaign.run()
+        assert result.name == "from-file"
+        assert result.ok == 2
+        assert all(r.exact for r in result.records)
+
+    def test_load_missing_source(self, tmp_path):
+        with pytest.raises(ProtocolError, match="neither a builtin"):
+            load_campaign(tmp_path / "absent.json")
+
+    def test_campaign_dict_roundtrip(self, tmp_path):
+        campaign = Campaign(_scenarios(), name="r", results_dir=tmp_path)
+        clone = Campaign.from_dict(campaign.to_dict(), results_dir=tmp_path)
+        assert [s.to_dict() for s in clone.scenarios] == \
+               [s.to_dict() for s in campaign.scenarios]
+
+    def test_smoke_builtin_runs(self, tmp_path):
+        result = builtin_campaign("smoke", results_dir=tmp_path).run()
+        assert len(result.records) == 8
+        clean = [r for r in result.records if r.spec.faults is None]
+        assert all(r.status == "ok" for r in clean)
+        reconstructions = [r for r in clean if r.exact is not None]
+        assert reconstructions and all(r.exact for r in reconstructions)

@@ -1,0 +1,139 @@
+"""Fault injection: validation, determinism, and channel semantics."""
+
+import pytest
+
+from repro.engine.faults import FaultCounters, FaultInjector, FaultSpec
+from repro.errors import ProtocolError
+from repro.graphs.generators import random_forest
+from repro.model import Message, OneRoundProtocol, Referee
+from repro.protocols import ForestReconstructionProtocol
+
+
+def _tagged(bits_per_msg=8, count=20):
+    return [(i, Message((i * 37) % (1 << bits_per_msg), bits_per_msg)) for i in range(1, count + 1)]
+
+
+class _ConstantProtocol(OneRoundProtocol):
+    """Sends 8 real bits per node; the global phase ignores the messages,
+    so any fault pattern still decodes (the report's bit counts are the
+    observable)."""
+
+    name = "constant-8"
+
+    def local(self, n, i, neighborhood):
+        return Message(0b10101010, 8)
+
+    def global_(self, n, messages):
+        return None
+
+
+class TestFaultSpec:
+    def test_defaults_are_noop(self):
+        assert FaultSpec().is_noop
+
+    @pytest.mark.parametrize("field", ["drop", "duplicate", "flip"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, "high"])
+    def test_rejects_bad_probability(self, field, bad):
+        with pytest.raises(ProtocolError):
+            FaultSpec(**{field: bad})
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec(drop=0.1, duplicate=0.2, flip=0.3, seed=9)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ProtocolError, match="unknown FaultSpec"):
+            FaultSpec.from_dict({"drop": 0.1, "corrupt": 0.2})
+
+
+class TestInjector:
+    def test_deterministic_given_seeds(self):
+        spec = FaultSpec(drop=0.3, duplicate=0.3, flip=0.3, seed=5)
+        out1, c1 = spec.injector(run_seed=7).apply(_tagged())
+        out2, c2 = spec.injector(run_seed=7).apply(_tagged())
+        assert out1 == out2 and c1 == c2
+
+    def test_run_seed_changes_stream(self):
+        spec = FaultSpec(drop=0.5, seed=5)
+        out1, _ = spec.injector(run_seed=1).apply(_tagged())
+        out2, _ = spec.injector(run_seed=2).apply(_tagged())
+        assert out1 != out2
+
+    def test_noop_spec_identity(self):
+        tagged = _tagged()
+        delivered, counters = FaultSpec().injector(0).apply(tagged)
+        assert delivered == tagged
+        assert counters.total == 0
+
+    def test_drop_delivers_empty_message(self):
+        delivered, counters = FaultSpec(drop=1.0).injector(0).apply(_tagged())
+        assert counters.dropped == len(delivered)
+        assert all(msg.bits == 0 for _, msg in delivered)
+        assert [i for i, _ in delivered] == [i for i, _ in _tagged()]
+
+    def test_flip_changes_exactly_one_bit(self):
+        tagged = _tagged()
+        delivered, counters = FaultSpec(flip=1.0).injector(3).apply(tagged)
+        assert counters.flipped == len(tagged)
+        for (_, before), (_, after) in zip(tagged, delivered):
+            assert after.bits == before.bits
+            assert bin(before.acc ^ after.acc).count("1") == 1
+
+    def test_flip_on_empty_message_is_noop(self):
+        delivered, counters = FaultSpec(flip=1.0).injector(0).apply([(1, Message.empty())])
+        assert delivered == [(1, Message.empty())]
+        assert counters.flipped == 0
+
+    def test_duplicate_without_flip_is_invisible(self):
+        tagged = _tagged()
+        delivered, counters = FaultSpec(duplicate=1.0).injector(0).apply(tagged)
+        assert counters.duplicated == len(tagged)
+        assert delivered == tagged  # last arrival identical to the first
+
+    def test_counters_total(self):
+        assert FaultCounters(dropped=1, duplicated=2, flipped=3).total == 6
+
+
+class TestRefereeIntegration:
+    def test_drop_measures_delivered_bits(self):
+        g = random_forest(40, 4, seed=1)
+        report = Referee(faults=FaultSpec(drop=1.0), fault_seed=0).run(_ConstantProtocol(), g)
+        assert report.fault_counters is not None
+        assert report.fault_counters.dropped == g.n
+        assert report.total_message_bits == 0  # delivered bits, not sent bits
+
+    def test_duplicate_counters_flow_through_clean_decode(self):
+        g = random_forest(40, 4, seed=1)
+        protocol = ForestReconstructionProtocol()
+        clean = Referee().run(protocol, g)
+        faulty = Referee(faults=FaultSpec(duplicate=1.0), fault_seed=0).run(protocol, g)
+        assert faulty.fault_counters is not None
+        assert faulty.fault_counters.duplicated == g.n
+        assert faulty.output == clean.output == g  # identical copies, decode unaffected
+        assert faulty.per_vertex_bits == clean.per_vertex_bits
+        assert clean.fault_counters is None
+
+    def test_noop_faultspec_changes_nothing(self):
+        g = random_forest(25, 3, seed=2)
+        protocol = ForestReconstructionProtocol()
+        clean = Referee().run(protocol, g)
+        noop = Referee(faults=FaultSpec()).run(protocol, g)
+        assert noop.output == clean.output == g
+        assert noop.per_vertex_bits == clean.per_vertex_bits
+        assert noop.fault_counters is None
+
+    def test_budget_audits_sent_message_not_delivered(self):
+        g = random_forest(30, 3, seed=3)
+        protocol = ForestReconstructionProtocol()
+        sent_max = max(m.bits for m in protocol.message_vector(g))
+        # Dropping everything must not rescue an over-budget sender.
+        from repro.errors import FrugalityViolation
+
+        with pytest.raises(FrugalityViolation):
+            Referee(budget_bits=sent_max - 1, faults=FaultSpec(drop=1.0)).run(protocol, g)
+
+    def test_prebuilt_injector_accepted(self):
+        g = random_forest(20, 2, seed=4)
+        injector = FaultInjector(FaultSpec(drop=1.0), run_seed=1)
+        report = Referee(faults=injector).run(_ConstantProtocol(), g)
+        assert report.fault_counters.dropped == g.n
