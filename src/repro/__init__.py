@@ -19,7 +19,11 @@ from scratch, everything the paper builds on it:
 * the **execution engine** (:mod:`repro.engine`): serial / thread / process
   executors that batch local-phase calls and fan out whole runs, a
   fault-injection model for the node→referee link, and a declarative
-  scenario/campaign layer with content-hash caching and JSONL results.
+  scenario/campaign layer with content-hash caching and JSONL results;
+* the **results layer** (:mod:`repro.results`): schema-validated streaming
+  record I/O, group-by analytics with the Lemma-2 ``bits/(k² log n)``
+  normalization, campaign diffing on spec content hashes, and frozen
+  baselines that turn regressions into CI failures.
 
 Quickstart::
 
@@ -83,8 +87,9 @@ from repro.engine import (
     builtin_campaign,
     load_campaign,
 )
+from repro.results import aggregate, diff_campaigns, load_records
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -128,4 +133,7 @@ __all__ = [
     "Campaign",
     "builtin_campaign",
     "load_campaign",
+    "aggregate",
+    "diff_campaigns",
+    "load_records",
 ]

@@ -26,6 +26,7 @@ from repro.analysis.experiments import (
     exp_bipartiteness_sketch,
     exp_rounds_tradeoff,
     exp_coalition,
+    exp_results_gate,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "exp_bipartiteness_sketch",
     "exp_rounds_tradeoff",
     "exp_coalition",
+    "exp_results_gate",
 ]

@@ -1,4 +1,4 @@
-"""One harness function per experiment ID (see DESIGN.md §4).
+"""One harness function per experiment ID (see DESIGN.md §5).
 
 Every function is deterministic given its arguments (generators are seeded)
 and cheap enough for a laptop; the default parameters are the ones quoted in
@@ -92,6 +92,7 @@ __all__ = [
     "exp_bipartiteness_sketch",
     "exp_rounds_tradeoff",
     "exp_coalition",
+    "exp_results_gate",
 ]
 
 
@@ -591,6 +592,49 @@ def exp_coalition(max_n: int = 5) -> Result:
     )
 
 
+def exp_results_gate() -> Result:
+    """results layer — aggregation + self-diff gate over a micro-campaign."""
+    from repro.engine import Campaign, Scenario
+    from repro.results import aggregate, diff_campaigns
+
+    def run_once() -> list[dict]:
+        campaign = Campaign(
+            [
+                Scenario(name="gate-forest", family="random_forest", sizes=(12, 16),
+                         protocol="forest", seeds=(0, 1)),
+                Scenario(name="gate-deg", family="random_k_degenerate", sizes=(16,),
+                         protocol="degeneracy", seeds=(0,),
+                         family_params={"k": 2}, protocol_params={"k": 2}),
+                Scenario(name="gate-conn", family="two_components", sizes=(16,),
+                         protocol="agm_connectivity", seeds=(0,)),
+            ],
+            name="results-gate",
+            results_dir=None,
+        )
+        return [r.to_json_dict() for r in campaign.run().records]
+
+    a, b = run_once(), run_once()
+    self_diff = "identical" if diff_campaigns(a, b).ok else "DIFFERS"
+    headers = ["protocol", "n", "runs", "ok", "exact",
+               "max bits (mean)", "bits/(k^2 lg n)", "self-diff"]
+    rows: list[Row] = []
+    for g in aggregate(a, by=("protocol", "n")):
+        exact = g["exact"]
+        rows.append([
+            g["group"]["protocol"], g["group"]["n"], g["runs"],
+            g["statuses"].get("ok", 0),
+            f"{exact['true']}/{exact['checked']}" if exact["checked"] else "-",
+            g["max_message_bits"]["mean"],
+            g["bits_per_k2_log_n"]["mean"] if g["bits_per_k2_log_n"] else "-",
+            self_diff,
+        ])
+    return (
+        "EXP-RESULTS  results layer: identical-seed campaigns aggregate and diff clean",
+        headers,
+        rows,
+    )
+
+
 #: registry used by the CLI and the benchmark table-writers
 EXPERIMENTS = {
     "EXP-BIP": exp_bipartiteness_sketch,
@@ -609,4 +653,5 @@ EXPERIMENTS = {
     "EXP-CONN": exp_connectivity_partition,
     "EXP-SKETCH": exp_connectivity_sketch,
     "EXP-DEGEN": exp_degeneracy_classes,
+    "EXP-RESULTS": exp_results_gate,
 }

@@ -1,4 +1,4 @@
-"""Command-line interface: experiments and campaigns.
+"""Command-line interface: experiments, campaigns, and the results layer.
 
 Usage::
 
@@ -7,13 +7,22 @@ Usage::
     python -m repro experiment all --json      # every experiment, as JSON
     python -m repro campaign smoke             # run a builtin campaign
     python -m repro campaign spec.json --jobs 4 --executor process
+    python -m repro report results/smoke.jsonl --by protocol,n
+    python -m repro diff results-a/smoke.jsonl results-b/smoke.jsonl
+    python -m repro baseline freeze results/smoke.jsonl --name smoke
+    python -m repro baseline check results/smoke.jsonl benchmarks/baselines/smoke.json
 
 ``python -m repro EXP-L2`` / ``python -m repro all`` remain as aliases for
 the ``experiment`` subcommand so existing scripts keep working.
 
+Exit codes: 0 success, 1 gate failure (``diff`` found differences,
+``baseline check`` failed), 2 usage error (unknown subcommand, malformed
+flags, unreadable or schema-invalid input).  Argparse errors are converted
+to return codes — :func:`main` never lets ``SystemExit`` escape.
+
 Experiment tables are also written by ``pytest benchmarks/`` into
 ``benchmarks/results/``; campaigns stream JSONL records into ``results/``
-(see DESIGN.md for the record schema).
+(see DESIGN.md §3 for the record schema, §4 for the results layer).
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from repro.analysis import EXPERIMENTS, format_table
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("list", "experiment", "campaign")
+_SUBCOMMANDS = ("list", "experiment", "campaign", "report", "diff", "baseline")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,7 +44,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduction harness for Becker et al., 'Adding a referee "
         "to an interconnection network' (IPDPS 2011).",
     )
-    sub = parser.add_subparsers(dest="command", metavar="{list,experiment,campaign}")
+    sub = parser.add_subparsers(
+        dest="command", metavar="{" + ",".join(_SUBCOMMANDS) + "}"
+    )
 
     p_list = sub.add_parser("list", help="show experiment IDs and builtin campaigns")
     p_list.add_argument("--json", action="store_true", help="machine-readable output")
@@ -55,6 +66,39 @@ def _build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--no-cache", action="store_true",
                         help="recompute every run, ignoring cached results")
     p_camp.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    p_rep = sub.add_parser("report", help="aggregate a campaign JSONL file")
+    p_rep.add_argument("records", help="path to a results/<name>.jsonl file")
+    p_rep.add_argument("--by", default=None, metavar="AXES",
+                       help="comma-separated spec axes to group by "
+                       "(default: protocol,family,n)")
+    p_rep.add_argument("--timing", action="store_true",
+                       help="include (nondeterministic) wall-clock columns")
+    p_rep.add_argument("--json", action="store_true", help="emit groups as JSON")
+
+    p_diff = sub.add_parser("diff", help="compare two campaign JSONL files run-by-run")
+    p_diff.add_argument("a", help="baseline campaign JSONL")
+    p_diff.add_argument("b", help="candidate campaign JSONL")
+    p_diff.add_argument("--bits-tolerance", type=float, default=0.0, metavar="F",
+                        help="relative bit-count tolerance (default: 0 = exact)")
+    p_diff.add_argument("--time-tolerance", type=float, default=None, metavar="R",
+                        help="fail when mean wall-clock ratio b/a exceeds R "
+                        "(default: timing never fails the diff)")
+    p_diff.add_argument("--json", action="store_true", help="emit the report as JSON")
+
+    p_base = sub.add_parser("baseline", help="freeze or check a regression baseline")
+    base_sub = p_base.add_subparsers(dest="action", metavar="{freeze,check}")
+    p_freeze = base_sub.add_parser("freeze", help="freeze a campaign summary to JSON")
+    p_freeze.add_argument("records", help="path to a results/<name>.jsonl file")
+    p_freeze.add_argument("--name", required=True, help="baseline name (file stem)")
+    p_freeze.add_argument("--dir", default="benchmarks/baselines", metavar="DIR",
+                          help="baselines directory (default: benchmarks/baselines)")
+    p_check = base_sub.add_parser("check", help="check a campaign against a baseline")
+    p_check.add_argument("records", help="path to a results/<name>.jsonl file")
+    p_check.add_argument("baseline", help="path to a frozen baseline JSON file")
+    p_check.add_argument("--bits-tolerance", type=float, default=0.0, metavar="F",
+                         help="relative bit-count tolerance (default: 0 = exact)")
+    p_check.add_argument("--json", action="store_true", help="emit the verdict as JSON")
     return parser
 
 
@@ -143,10 +187,114 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ResultsError
+    from repro.results import DEFAULT_AXES, aggregate, aggregate_table, iter_records
+
+    by = tuple(a.strip() for a in args.by.split(",") if a.strip()) if args.by \
+        else DEFAULT_AXES
+    try:
+        # iter_records streams: only the per-group rollups stay in memory.
+        groups = aggregate(iter_records(args.records), by=by,
+                           include_timing=args.timing)
+    except (ResultsError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    total_runs = sum(g["runs"] for g in groups)
+    if args.json:
+        payload = {"records": total_runs, "by": list(by), "groups": groups}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    title, headers, rows = aggregate_table(
+        groups, by,
+        title=f"{args.records} — {total_runs} runs by {', '.join(by)}",
+        include_timing=args.timing,
+    )
+    print(format_table(title, headers, rows))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ResultsError
+    from repro.results import diff_campaigns, load_records
+
+    try:
+        report = diff_campaigns(
+            load_records(args.a),
+            load_records(args.b),
+            bits_tolerance=args.bits_tolerance,
+            time_tolerance=args.time_tolerance,
+        )
+    except (ResultsError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(f"diff {args.a} vs {args.b}: {report.matched} matched, "
+          f"{len(report.only_in_a)} only in a, {len(report.only_in_b)} only in b")
+    for delta in report.result_mismatches[:20]:
+        s = delta.spec
+        print(f"  MISMATCH {delta.field} @ {s['scenario']}/{s['family']}/n={s['n']}/"
+              f"seed={s['seed']}: {delta.a!r} -> {delta.b!r}")
+    for delta in report.bit_deltas[:20]:
+        s = delta.spec
+        print(f"  BITS {delta.field} @ {s['scenario']}/{s['family']}/n={s['n']}/"
+              f"seed={s['seed']}: {delta.a} -> {delta.b} "
+              f"(tolerance {report.bits_tolerance})")
+    hidden = max(0, len(report.result_mismatches) - 20) + \
+        max(0, len(report.bit_deltas) - 20)
+    if hidden > 0:
+        print(f"  ... and {hidden} more (use --json for the full report)")
+    if report.time_ok is not None:
+        if report.wall_ratio is None:
+            print("  wall-clock ratio b/a: unavailable (no wall_seconds "
+                  "measured); timing gate vacuously ok")
+        else:
+            print(f"  wall-clock ratio b/a: mean {report.wall_ratio['mean']} "
+                  f"({'ok' if report.time_ok else 'EXCEEDS'} tolerance "
+                  f"{report.time_tolerance})")
+    print("identical" if report.ok else "DIFFERS")
+    return 0 if report.ok else 1
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.errors import ResultsError
+    from repro.results import check, freeze, load_records
+
+    if args.action is None:
+        print("repro baseline: error: an action is required (freeze or check)",
+              file=sys.stderr)
+        return 2
+    try:
+        records = load_records(args.records)
+        if args.action == "freeze":
+            path = freeze(records, args.name, baselines_dir=args.dir)
+            print(f"baseline {args.name} ({len(records)} runs) -> {path}")
+            return 0
+        verdict = check(records, args.baseline, bits_tolerance=args.bits_tolerance)
+    except (ResultsError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+        return 0 if verdict.passed else 1
+    print(f"baseline check {args.baseline}: {verdict.runs_checked} runs, "
+          f"{len(verdict.failures)} failure(s)")
+    for failure in verdict.failures[:20]:
+        print(f"  FAIL [{failure.kind}] {failure.key}: {failure.detail}")
+    if len(verdict.failures) > 20:
+        print(f"  ... and {len(verdict.failures) - 20} more (use --json)")
+    print("passed" if verdict.passed else "FAILED")
+    return 0 if verdict.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `python -m repro EXP-T5` / `all` mean `experiment <id>`.
-    if argv and argv[0] not in _SUBCOMMANDS and not argv[0].startswith("-"):
+    # Only experiment-shaped tokens get the shim — anything else unknown
+    # must fall through to argparse's invalid-choice usage error.
+    if argv and (argv[0] == "all" or argv[0].startswith("EXP")):
         argv.insert(0, "experiment")
 
     parser = _build_parser()
@@ -154,12 +302,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_usage(sys.stderr)
         print("repro: error: a subcommand is required", file=sys.stderr)
         return 2
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits on --help (0) and usage errors (2); callers of
+        # main() get a return code either way, never an exception.
+        return int(exc.code) if exc.code is not None else 0
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
-    return _cmd_campaign(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    return _cmd_baseline(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -60,7 +60,9 @@ __all__ = [
 ]
 
 #: Bumped whenever record semantics change, so stale cache entries miss.
-SPEC_VERSION = 1
+#: v2: records carry a top-level ``spec_version`` stamp (repro.results
+#: validates against it and migrates v1 streams on load).
+SPEC_VERSION = 2
 
 Params = tuple[tuple[str, Any], ...]
 
@@ -418,8 +420,14 @@ class RunRecord:
     cached: bool = False
 
     def to_json_dict(self) -> dict:
-        """The JSONL object: ``spec`` / ``result`` / ``timing`` sections."""
+        """The JSONL object: ``spec`` / ``result`` / ``timing`` sections.
+
+        Stamped with ``spec_version`` so downstream readers
+        (:mod:`repro.results.records`) can validate and migrate streams
+        written by older engines.
+        """
         return {
+            "spec_version": SPEC_VERSION,
             "spec": self.spec.to_dict(),
             "result": {
                 "status": self.status,

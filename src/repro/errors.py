@@ -21,6 +21,9 @@ __all__ = [
     "DecodeError",
     "RecognitionFailure",
     "SketchFailure",
+    "ResultsError",
+    "SchemaError",
+    "BaselineError",
 ]
 
 
@@ -89,3 +92,15 @@ class SketchFailure(ReproError):
     with fresh randomness or accept one-sided error.  The failure is
     surfaced explicitly rather than returning a wrong answer silently.
     """
+
+
+class ResultsError(ReproError):
+    """Base class for the results layer (:mod:`repro.results`)."""
+
+
+class SchemaError(ResultsError):
+    """Raised when a JSONL record violates the campaign record schema."""
+
+
+class BaselineError(ResultsError):
+    """Raised when a frozen baseline file is missing or malformed."""

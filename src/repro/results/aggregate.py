@@ -1,0 +1,273 @@
+"""Group-by analytics over campaign records.
+
+Campaigns answer the paper's claims *in aggregate*: message size scaling
+(Lemma 2's ``O(k² log n)``), exactness rates (Theorem 5), fault outcomes.
+:func:`aggregate` groups validated records by any subset of spec axes and
+computes min / mean / max / p95 of the bit counts, exactness and status
+rates, fault-event totals, and a Lemma-2-style normalization column
+``max_message_bits / (k² · log₂ n)`` so the bound shows up as a flat line
+across ``n``.
+
+Everything here is deterministic given the records: means are rounded to a
+fixed precision, groups are emitted in sorted key order, and timing columns
+are opt-in (they are the one nondeterministic part of a record).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "DEFAULT_AXES",
+    "Stats",
+    "percentile",
+    "normalized_bits",
+    "aggregate",
+    "aggregate_table",
+]
+
+#: The spec axes a report may group by ("faults" is the compact label below).
+GROUPABLE_AXES = (
+    "scenario", "family", "n", "seed", "protocol", "shuffle_delivery",
+    "budget_bits", "faults",
+)
+
+DEFAULT_AXES = ("protocol", "family", "n")
+
+#: Rounding applied to every derived float, so reports are byte-stable.
+_PRECISION = 6
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence."""
+    if not values:
+        raise SchemaError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise SchemaError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class Stats:
+    """min / mean / max / p95 summary of one numeric column."""
+
+    count: int
+    min: float
+    mean: float
+    max: float
+    p95: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Stats":
+        """Summarize a non-empty sequence."""
+        if not values:
+            raise SchemaError("Stats.of() needs at least one value")
+        return cls(
+            count=len(values),
+            min=min(values),
+            mean=round(sum(values) / len(values), _PRECISION),
+            max=max(values),
+            p95=percentile(values, 95.0),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.min,
+            "mean": self.mean,
+            "max": self.max,
+            "p95": self.p95,
+        }
+
+
+def normalized_bits(record: Mapping) -> float | None:
+    """``max_message_bits / (k² log₂ n)`` for one record (Lemma 2 units).
+
+    ``k`` is the protocol's ``k`` parameter (1 when the protocol has none),
+    ``n`` the spec size.  ``None`` when the normalization is undefined
+    (``n < 2``) or the run produced no message bits to normalize.
+    """
+    spec = record["spec"]
+    n = spec["n"]
+    if n < 2:
+        return None
+    k = spec["protocol_params"].get("k", 1)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        return None
+    bits = record["result"]["max_message_bits"]
+    if bits == 0:
+        # Nothing was measured (failed runs report 0 bits) — a zero here
+        # would drag the group mean toward 0 and flatten the diagnostic.
+        return None
+    return round(bits / (k * k * math.log2(n)), _PRECISION)
+
+
+def _fault_label(spec: Mapping) -> str:
+    f = spec["faults"]
+    if f is None:
+        return "none"
+    return (f"drop={f['drop']},dup={f['duplicate']},"
+            f"flip={f['flip']},seed={f['seed']}")
+
+
+def _axis_value(record: Mapping, axis: str):
+    if axis == "faults":
+        return _fault_label(record["spec"])
+    return record["spec"][axis]
+
+
+def _sort_key(value) -> tuple:
+    # Axes can mix types across groups (e.g. budget_bits int/None); sort
+    # by type class first so the comparison never raises, numerically
+    # within numbers so n=16 precedes n=128.
+    if isinstance(value, bool):
+        return ("bool", 0, str(value))
+    if isinstance(value, (int, float)):
+        return ("number", value, "")
+    return (type(value).__name__, 0, str(value))
+
+
+def aggregate(
+    records: Iterable[Mapping],
+    *,
+    by: Sequence[str] = DEFAULT_AXES,
+    include_timing: bool = False,
+) -> list[dict]:
+    """Group records by spec axes and summarize each group.
+
+    Returns one dict per group, in sorted group-key order::
+
+        {"group": {axis: value, ...},
+         "runs": 7, "statuses": {"ok": 7},
+         "exact": {"true": 5, "false": 0, "checked": 5, "rate": 1.0},
+         "fault_events": {"dropped": 0, "duplicated": 0, "flipped": 0},
+         "max_message_bits": {...Stats...},
+         "total_message_bits": {...Stats...},
+         "bits_per_k2_log_n": {...Stats...} | None,
+         "wall_seconds": {...Stats...}}            # only with include_timing
+
+    ``by`` may name any of the spec axes (plus the synthetic ``faults``
+    label); an unknown axis raises :class:`~repro.errors.SchemaError`.
+    """
+    by = tuple(by)
+    if not by:
+        raise SchemaError("aggregate needs at least one group-by axis")
+    unknown = [a for a in by if a not in GROUPABLE_AXES]
+    if unknown:
+        raise SchemaError(
+            f"unknown group-by axis {unknown}; known: {', '.join(GROUPABLE_AXES)}"
+        )
+
+    # Streaming-friendly: only the per-group scalar columns are retained,
+    # never the record dicts — a million-record file costs a few lists of
+    # numbers per group.
+    class _Acc:
+        __slots__ = ("runs", "statuses", "fault_events", "exact_true",
+                     "exact_false", "max_bits", "total_bits", "norms", "walls")
+
+        def __init__(self) -> None:
+            self.runs = 0
+            self.statuses: dict[str, int] = {}
+            self.fault_events = {"dropped": 0, "duplicated": 0, "flipped": 0}
+            self.exact_true = self.exact_false = 0
+            self.max_bits: list[int] = []
+            self.total_bits: list[int] = []
+            self.norms: list[float] = []
+            self.walls: list[float] = []
+
+    groups: dict[tuple, _Acc] = {}
+    for record in records:
+        key = tuple(_axis_value(record, a) for a in by)
+        acc = groups.get(key)
+        if acc is None:
+            acc = groups[key] = _Acc()
+        res = record["result"]
+        acc.runs += 1
+        acc.statuses[res["status"]] = acc.statuses.get(res["status"], 0) + 1
+        for name in acc.fault_events:
+            acc.fault_events[name] += res["faults"][name]
+        if res["exact"] is True:
+            acc.exact_true += 1
+        elif res["exact"] is False:
+            acc.exact_false += 1
+        acc.max_bits.append(res["max_message_bits"])
+        acc.total_bits.append(res["total_message_bits"])
+        norm = normalized_bits(record)
+        if norm is not None:
+            acc.norms.append(norm)
+        wall = record["timing"].get("wall_seconds")
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+            acc.walls.append(wall)
+    if not groups:
+        raise SchemaError("aggregate over zero records")
+
+    out = []
+    for key in sorted(groups, key=lambda k: tuple(_sort_key(v) for v in k)):
+        acc = groups[key]
+        checked = acc.exact_true + acc.exact_false
+        group = {
+            "group": dict(zip(by, key)),
+            "runs": acc.runs,
+            "statuses": dict(sorted(acc.statuses.items())),
+            "exact": {
+                "true": acc.exact_true,
+                "false": acc.exact_false,
+                "checked": checked,
+                "rate": round(acc.exact_true / checked, _PRECISION) if checked else None,
+            },
+            "fault_events": acc.fault_events,
+            "max_message_bits": Stats.of(acc.max_bits).to_dict(),
+            "total_message_bits": Stats.of(acc.total_bits).to_dict(),
+            "bits_per_k2_log_n": Stats.of(acc.norms).to_dict() if acc.norms else None,
+        }
+        if include_timing:
+            group["wall_seconds"] = Stats.of(acc.walls).to_dict() if acc.walls else None
+        out.append(group)
+    return out
+
+
+def aggregate_table(
+    groups: Sequence[Mapping],
+    by: Sequence[str],
+    *,
+    title: str = "campaign report",
+    include_timing: bool = False,
+) -> tuple[str, list[str], list[list]]:
+    """Render aggregated groups as ``(title, headers, rows)``.
+
+    The shape :func:`repro.analysis.tables.format_table` consumes — the
+    results layer and the experiment harness share one table pipeline.
+    """
+    headers = list(by) + [
+        "runs", "ok", "viol", "err", "exact",
+        "max bits (mean)", "max bits (p95)", "total bits (mean)",
+        "bits/(k^2 lg n)",
+    ]
+    if include_timing:
+        headers.append("wall s (mean)")
+    rows: list[list] = []
+    for g in groups:
+        statuses = g["statuses"]
+        exact = g["exact"]
+        row = [g["group"][a] for a in by] + [
+            g["runs"],
+            statuses.get("ok", 0),
+            statuses.get("violation", 0),
+            statuses.get("error", 0),
+            f"{exact['true']}/{exact['checked']}" if exact["checked"] else "-",
+            g["max_message_bits"]["mean"],
+            g["max_message_bits"]["p95"],
+            g["total_message_bits"]["mean"],
+            g["bits_per_k2_log_n"]["mean"] if g["bits_per_k2_log_n"] else "-",
+        ]
+        if include_timing:
+            wall = g.get("wall_seconds")
+            row.append(wall["mean"] if wall else "-")
+        rows.append(row)
+    return title, headers, rows

@@ -1,0 +1,222 @@
+"""Frozen campaign baselines: the machine-checkable regression gate.
+
+:func:`freeze` distills a campaign's deterministic fields — per-run status,
+output digest, exactness, bit counts, keyed by spec content hash — into
+``benchmarks/baselines/<name>.json``.  :func:`check` replays the contract
+against a fresh run and returns a structured pass/fail that CI turns into
+an exit code: a changed digest means the protocol now computes something
+else; a grown bit count means a message got bigger than the paper's bound
+justified; a missing run means the campaign grid silently shrank.
+
+Baselines deliberately contain no timing — they must be reproducible on
+any machine (the engine's determinism contract, DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import BaselineError, SchemaError
+from repro.results.records import (
+    RECORD_VERSION,
+    index_by_spec_hash,
+    within_tolerance,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINES_DIR",
+    "summarize_campaign",
+    "freeze",
+    "load_baseline",
+    "CheckFailure",
+    "BaselineCheck",
+    "check",
+]
+
+BASELINE_VERSION = 1
+
+DEFAULT_BASELINES_DIR = pathlib.Path("benchmarks") / "baselines"
+
+#: Deterministic result fields a baseline pins exactly.
+_PINNED_FIELDS = ("status", "output_kind", "output_digest", "exact")
+
+#: Result fields a baseline pins up to the relative bit tolerance.
+_BIT_FIELDS = ("max_message_bits", "total_message_bits")
+
+
+def summarize_campaign(records: Iterable[Mapping], *, name: str = "campaign") -> dict:
+    """The frozen form of a campaign: per-run deterministic fields + rollup."""
+    by_hash: dict[str, dict] = {}
+    statuses: dict[str, int] = {}
+    exact = total_bits = 0
+    max_bits = 0
+    for key, record in index_by_spec_hash(records, label=f"baseline {name!r}").items():
+        spec, result = record["spec"], record["result"]
+        entry = {k: spec[k] for k in ("scenario", "family", "n", "seed", "protocol")}
+        for name_ in _PINNED_FIELDS + _BIT_FIELDS:
+            entry[name_] = result[name_]
+        by_hash[key] = entry
+        statuses[result["status"]] = statuses.get(result["status"], 0) + 1
+        exact += result["exact"] is True
+        total_bits += result["total_message_bits"]
+        max_bits = max(max_bits, result["max_message_bits"])
+    if not by_hash:
+        raise SchemaError(f"cannot freeze baseline {name!r} from zero records")
+    return {
+        "baseline_version": BASELINE_VERSION,
+        "name": name,
+        "spec_version": RECORD_VERSION,
+        "runs": len(by_hash),
+        "rollup": {
+            "statuses": dict(sorted(statuses.items())),
+            "exact": exact,
+            "total_message_bits": total_bits,
+            "max_message_bits": max_bits,
+        },
+        "by_hash": dict(sorted(by_hash.items())),
+    }
+
+
+def freeze(
+    records: Iterable[Mapping],
+    name: str,
+    *,
+    baselines_dir: str | pathlib.Path = DEFAULT_BASELINES_DIR,
+) -> pathlib.Path:
+    """Write ``<baselines_dir>/<name>.json`` (sorted, indented, byte-stable)."""
+    baselines_dir = pathlib.Path(baselines_dir)
+    baselines_dir.mkdir(parents=True, exist_ok=True)
+    path = baselines_dir / f"{name}.json"
+    summary = summarize_campaign(records, name=name)
+    path.write_text(json.dumps(summary, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def load_baseline(source: str | pathlib.Path | Mapping) -> dict:
+    """Load and structurally check a frozen baseline (path or parsed dict)."""
+    if isinstance(source, Mapping):
+        baseline = dict(source)
+    else:
+        path = pathlib.Path(source)
+        if not path.exists():
+            raise BaselineError(f"baseline file {path} does not exist")
+        try:
+            baseline = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(baseline, dict):
+        raise BaselineError("baseline must be a JSON object")
+    version = baseline.get("baseline_version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline_version must be {BASELINE_VERSION}, got {version!r}"
+        )
+    if not isinstance(baseline.get("by_hash"), dict) or not baseline["by_hash"]:
+        raise BaselineError("baseline has no 'by_hash' run table")
+    # A truncated entry would make check() vacuously pass — the gate must
+    # fail loudly on a baseline that cannot actually pin anything.
+    for key, entry in baseline["by_hash"].items():
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline entry {key} is not an object")
+        missing = [f for f in _PINNED_FIELDS + _BIT_FIELDS if f not in entry]
+        if missing:
+            raise BaselineError(
+                f"baseline entry {key} is missing pinned field(s) {missing}"
+            )
+    return baseline
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One violated baseline expectation."""
+
+    kind: str        # "missing-run" | "extra-run" | "result" | "bits"
+    key: str         # spec content hash ("" for campaign-level failures)
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "key": self.key, "detail": self.detail}
+
+
+@dataclass
+class BaselineCheck:
+    """Structured verdict of :func:`check` — what CI gates on."""
+
+    baseline_name: str
+    runs_checked: int
+    bits_tolerance: float
+    failures: list[CheckFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_name,
+            "passed": self.passed,
+            "runs_checked": self.runs_checked,
+            "bits_tolerance": self.bits_tolerance,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def check(
+    records: Iterable[Mapping],
+    baseline: str | pathlib.Path | Mapping,
+    *,
+    bits_tolerance: float = 0.0,
+) -> BaselineCheck:
+    """Verify a fresh campaign against a frozen baseline.
+
+    Every baseline run must be present with identical status / output
+    digest / exactness; bit counts must match within the relative
+    ``bits_tolerance`` (``|new - old| <= tol * max(old, 1)``); runs absent
+    from the baseline are flagged too (a silently grown grid is as
+    suspicious as a shrunken one).
+    """
+    if bits_tolerance < 0:
+        raise SchemaError(f"bits_tolerance must be >= 0, got {bits_tolerance}")
+    baseline = load_baseline(baseline)
+    expected: dict[str, dict] = baseline["by_hash"]
+
+    fresh = index_by_spec_hash(records, label="checked campaign")
+
+    result = BaselineCheck(
+        baseline_name=str(baseline.get("name", "baseline")),
+        runs_checked=len(fresh),
+        bits_tolerance=bits_tolerance,
+    )
+    for key in sorted(set(expected) - set(fresh)):
+        e = expected[key]
+        result.failures.append(CheckFailure(
+            "missing-run", key,
+            f"baseline run {e.get('scenario')}/{e.get('family')}/n={e.get('n')}/"
+            f"seed={e.get('seed')} not present in campaign",
+        ))
+    for key in sorted(set(fresh) - set(expected)):
+        spec = fresh[key]["spec"]
+        result.failures.append(CheckFailure(
+            "extra-run", key,
+            f"campaign run {spec['scenario']}/{spec['family']}/n={spec['n']}/"
+            f"seed={spec['seed']} has no baseline entry (re-freeze?)",
+        ))
+    for key in sorted(set(expected) & set(fresh)):
+        e, res = expected[key], fresh[key]["result"]
+        for name in _PINNED_FIELDS:
+            if res[name] != e[name]:
+                result.failures.append(CheckFailure(
+                    "result", key, f"{name}: expected {e[name]!r}, got {res[name]!r}",
+                ))
+        for name in _BIT_FIELDS:
+            old, new = e[name], res[name]
+            if not within_tolerance(old, new, bits_tolerance):
+                result.failures.append(CheckFailure(
+                    "bits", key,
+                    f"{name}: expected {old} ± {bits_tolerance:.0%}, got {new}",
+                ))
+    return result

@@ -167,6 +167,7 @@ class TestRegistry:
             "EXP-L1", "EXP-L2", "EXP-L3", "EXP-T5", "EXP-T1", "EXP-T2",
             "EXP-T3", "EXP-ADV", "EXP-FOREST", "EXP-GD", "EXP-CONN",
             "EXP-SKETCH", "EXP-DEGEN", "EXP-BIP", "EXP-ROUNDS", "EXP-COAL",
+            "EXP-RESULTS",
         }
 
     def test_format_table_alignment(self):

@@ -81,7 +81,7 @@ class TestRun:
         lines = (tmp_path / "t.jsonl").read_text().splitlines()
         assert len(lines) == 5
         first = json.loads(lines[0])
-        assert set(first) == {"spec", "result", "timing", "cached"}
+        assert set(first) == {"spec_version", "spec", "result", "timing", "cached"}
 
     def test_no_results_dir(self):
         result = Campaign(_scenarios(), results_dir=None).run()

@@ -1,0 +1,36 @@
+"""Shared factory for schema-valid synthetic campaign records."""
+
+import pytest
+
+from repro.results.records import validate_record
+
+
+def _make_record(*, protocol="forest", family="random_forest", n=16, seed=0,
+                 status="ok", exact=True, max_bits=20, total_bits=320,
+                 k=None, faults=None, dropped=0, wall=0.01,
+                 digest="d", scenario="s") -> dict:
+    protocol_params = {} if k is None else {"k": k}
+    record = {
+        "spec_version": 2,
+        "spec": {
+            "scenario": scenario, "family": family, "n": n, "seed": seed,
+            "protocol": protocol, "family_params": {},
+            "protocol_params": protocol_params, "budget_bits": None,
+            "shuffle_delivery": False, "faults": faults,
+        },
+        "result": {
+            "status": status, "output_kind": "graph", "output_digest": digest,
+            "exact": exact, "graph_n": n, "graph_m": n - 1,
+            "max_message_bits": max_bits, "total_message_bits": total_bits,
+            "faults": {"dropped": dropped, "duplicated": 0, "flipped": 0},
+            "error": "",
+        },
+        "timing": {"wall_seconds": wall},
+        "cached": False,
+    }
+    return validate_record(record)
+
+
+@pytest.fixture()
+def make_record():
+    return _make_record

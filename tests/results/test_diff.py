@@ -1,0 +1,118 @@
+"""Campaign diffing: content-hash alignment, tolerances, determinism."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.results import diff_campaigns
+
+
+def _pair(make_record, n_runs=3):
+    a = [make_record(seed=s, max_bits=20 + s, total_bits=300 + s, digest=f"d{s}")
+         for s in range(n_runs)]
+    return a, copy.deepcopy(a)
+
+
+class TestAlignment:
+    def test_identical_campaigns_are_ok(self, make_record):
+        a, b = _pair(make_record)
+        report = diff_campaigns(a, b)
+        assert report.ok
+        assert (report.runs_a, report.runs_b, report.matched) == (3, 3, 3)
+
+    def test_alignment_ignores_file_order_and_labels(self, make_record):
+        a, b = _pair(make_record)
+        b.reverse()
+        for record in b:
+            record["spec"]["scenario"] = "renamed"
+        assert diff_campaigns(a, b).ok
+
+    def test_missing_and_extra_runs(self, make_record):
+        a, b = _pair(make_record)
+        dropped = b.pop()
+        b.append(make_record(seed=99, digest="new"))
+        report = diff_campaigns(a, b)
+        assert not report.ok
+        assert len(report.only_in_a) == 1
+        assert len(report.only_in_b) == 1
+        assert report.only_in_a[0]["spec"]["seed"] == dropped["spec"]["seed"]
+
+    def test_duplicate_hash_rejected(self, make_record):
+        record = make_record()
+        with pytest.raises(SchemaError, match="duplicate run"):
+            diff_campaigns([record, copy.deepcopy(record)], [record])
+
+
+class TestMismatches:
+    def test_digest_change_detected(self, make_record):
+        a, b = _pair(make_record)
+        b[1]["result"]["output_digest"] = "changed"
+        report = diff_campaigns(a, b)
+        assert not report.ok
+        [delta] = report.result_mismatches
+        assert delta.field == "output_digest"
+        assert (delta.a, delta.b) == ("d1", "changed")
+
+    def test_status_and_exact_changes_detected(self, make_record):
+        a, b = _pair(make_record)
+        b[0]["result"]["status"] = "error"
+        b[2]["result"]["exact"] = False
+        report = diff_campaigns(a, b)
+        assert {d.field for d in report.result_mismatches} == {"status", "exact"}
+
+    def test_bit_delta_beyond_tolerance(self, make_record):
+        a, b = _pair(make_record)
+        b[0]["result"]["max_message_bits"] += 5
+        strict = diff_campaigns(a, b)
+        assert not strict.ok
+        [delta] = strict.bit_deltas
+        assert delta.field == "max_message_bits"
+        loose = diff_campaigns(a, b, bits_tolerance=0.5)
+        assert loose.ok
+
+    def test_exact_tolerance_boundary(self, make_record):
+        a, b = _pair(make_record, n_runs=1)
+        b[0]["result"]["total_message_bits"] = 330  # +10% of 300
+        assert diff_campaigns(a, b, bits_tolerance=0.1).ok
+        assert not diff_campaigns(a, b, bits_tolerance=0.09).ok
+
+    def test_negative_tolerance_rejected(self, make_record):
+        a, b = _pair(make_record)
+        with pytest.raises(SchemaError, match="bits_tolerance"):
+            diff_campaigns(a, b, bits_tolerance=-0.1)
+
+
+class TestTiming:
+    def test_timing_never_fails_by_default(self, make_record):
+        a, b = _pair(make_record)
+        for record in b:
+            record["timing"]["wall_seconds"] = 100.0
+        report = diff_campaigns(a, b)
+        assert report.ok and report.time_ok is None
+        assert report.wall_ratio["mean"] > 1000
+
+    def test_time_tolerance_gates(self, make_record):
+        a, b = _pair(make_record)
+        for record in b:
+            record["timing"]["wall_seconds"] = 0.03  # 3x slower than 0.01
+        assert not diff_campaigns(a, b, time_tolerance=2.0).ok
+        assert diff_campaigns(a, b, time_tolerance=4.0).ok
+
+    def test_json_form_excludes_timing_by_default(self, make_record):
+        a, b = _pair(make_record)
+        plain = diff_campaigns(a, b).to_dict()
+        assert "wall_ratio" not in plain
+        timed = diff_campaigns(a, b).to_dict(include_timing=True)
+        assert "wall_ratio" in timed
+
+
+class TestDeterminism:
+    def test_default_report_is_byte_stable(self, make_record):
+        a, b = _pair(make_record)
+        b[0]["timing"]["wall_seconds"] = 42.0  # timing noise must not leak
+        one = json.dumps(diff_campaigns(a, b).to_dict(), sort_keys=True)
+        two = json.dumps(diff_campaigns(a, b).to_dict(), sort_keys=True)
+        assert one == two
+        assert "42" not in one

@@ -1,0 +1,55 @@
+"""Every record the engine emits conforms to the DESIGN.md §3 schema.
+
+The builtin ``smoke`` campaign touches all record shapes — reconstruction,
+decision protocols, shuffled delivery, fault injection, error statuses —
+so validating its JSONL in strict (no-migration) mode pins the emission
+side of the contract to the validator.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import builtin_campaign
+from repro.errors import SchemaError
+from repro.results import RECORD_VERSION, canonical_line, load_records, validate_record
+
+
+@pytest.fixture(scope="module")
+def smoke_jsonl(tmp_path_factory):
+    results_dir = tmp_path_factory.mktemp("smoke-results")
+    result = builtin_campaign("smoke", results_dir=results_dir).run()
+    return result.jsonl_path
+
+
+def test_every_smoke_record_validates_strictly(smoke_jsonl):
+    records = load_records(smoke_jsonl, migrate=False)
+    assert len(records) == 8
+    assert all(r["spec_version"] == RECORD_VERSION for r in records)
+
+
+def test_engine_bytes_are_canonical(smoke_jsonl):
+    lines = smoke_jsonl.read_text().splitlines()
+    assert [canonical_line(json.loads(line)) for line in lines] == lines
+
+
+def test_smoke_covers_both_clean_and_faulty_records(smoke_jsonl):
+    records = load_records(smoke_jsonl)
+    assert any(r["spec"]["faults"] is not None for r in records)
+    assert any(r["spec"]["faults"] is None for r in records)
+    assert any(r["result"]["exact"] is True for r in records)
+    assert any(r["spec"]["shuffle_delivery"] for r in records)
+
+
+@pytest.mark.parametrize("mutate, match", [
+    (lambda d: d.__setitem__("surprise", 1), "unknown key"),
+    (lambda d: d["spec"].__setitem__("n", "12"), "spec.n must be int"),
+    (lambda d: d["result"].__setitem__("exact", 1), "result.exact must be bool"),
+    (lambda d: d["result"].pop("status"), "missing key result.status"),
+    (lambda d: d["result"]["faults"].__setitem__("eaten", 3), "unknown key"),
+])
+def test_mutated_smoke_record_rejected(smoke_jsonl, mutate, match):
+    record = json.loads(smoke_jsonl.read_text().splitlines()[0])
+    mutate(record)
+    with pytest.raises(SchemaError, match=match):
+        validate_record(record)

@@ -81,3 +81,51 @@ def test_referee_reports_are_consistent(name):
     assert len(report.per_vertex_bits) == g.n
     assert report.total_message_bits == sum(report.per_vertex_bits)
     assert report.max_message_bits == max(report.per_vertex_bits, default=0)
+
+
+# --------------------------------------------------------------------- #
+# shuffle-invariance matrix: delivery order is adversarial noise, so every
+# registered protocol must produce the same output digest with and without
+# shuffled delivery (the referee indexes messages by ID, Definition 1).
+# --------------------------------------------------------------------- #
+
+from repro.engine import PROTOCOL_BUILDERS, Scenario, execute_run  # noqa: E402
+
+#: protocol -> (family, family_params, protocol_params) giving a valid
+#: small-graph input for that protocol.
+SHUFFLE_GRID = {
+    "degeneracy": ("random_k_degenerate", {"k": 2}, {"k": 2}),
+    "forest": ("random_forest", {}, {}),
+    "generalized_degeneracy": ("random_tree", {}, {"k": 1}),
+    "bounded_degree": ("path", {}, {"max_degree": 3}),
+    "agm_connectivity": ("random_tree", {}, {"sketch_seed": 3}),
+    "sketch_bipartiteness": ("random_bipartite", {}, {"sketch_seed": 3}),
+    "full_adjacency": ("erdos_renyi", {}, {}),
+}
+
+
+def test_shuffle_grid_covers_every_registered_protocol():
+    """A new PROTOCOL_BUILDERS entry must be added to the matrix."""
+    assert set(SHUFFLE_GRID) == set(PROTOCOL_BUILDERS)
+
+
+@pytest.mark.parametrize("n", (12, 16))
+@pytest.mark.parametrize("protocol", sorted(SHUFFLE_GRID))
+def test_shuffle_delivery_is_invariant(protocol, n):
+    family, family_params, protocol_params = SHUFFLE_GRID[protocol]
+    records = {}
+    for shuffled in (False, True):
+        spec = next(Scenario(
+            name="shuffle-matrix", family=family, sizes=(n,), seeds=(1,),
+            protocol=protocol, family_params=family_params,
+            protocol_params=protocol_params, shuffle_delivery=shuffled,
+        ).expand())
+        records[shuffled] = execute_run(spec)
+    plain, shuffled = records[False], records[True]
+    assert plain.status == shuffled.status == "ok"
+    assert plain.output_kind == shuffled.output_kind
+    assert plain.output_digest == shuffled.output_digest
+    assert plain.exact == shuffled.exact
+    # shuffling rearranges delivery, it must not change what was sent
+    assert plain.total_message_bits == shuffled.total_message_bits
+    assert plain.max_message_bits == shuffled.max_message_bits
