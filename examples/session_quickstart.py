@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Session quickstart: the whole pipeline as one fluent chain.
+
+The paper's model is a single pipeline — build a graph, run a one-round
+protocol under a referee, measure bits — and ``repro.api.Session`` is that
+pipeline as one chainable builder: graph grid → protocol → referee options
+→ executor → run → aggregate → gate.  This script runs a small planar
+reconstruction study, prints the aggregated report, freezes it as a
+baseline, and re-gates a second identical run against it.
+
+It also demonstrates the API contract the test suite pins down: a Session
+builds the *same* scenarios the engine always ran, so its records carry
+identical spec content hashes and output digests to a hand-wired
+``Scenario``/``Campaign``.
+
+Run:  python examples/session_quickstart.py
+"""
+
+import tempfile
+
+from repro import Campaign, Scenario
+from repro.api import Session
+
+
+def main() -> None:
+    # ----------------------------------------------------------------- #
+    # 1. the fluent chain
+    # ----------------------------------------------------------------- #
+    session = (
+        Session("planar-quickstart")
+        .graphs("random_planar", n=[32, 64], seeds=range(3), keep_prob=0.8)
+        .protocol("degeneracy", k=5)
+        .shuffle()            # adversarial delivery order (must not matter)
+        .executor("thread", jobs=2)
+    )
+    run = session.run()
+
+    summary = run.summary()
+    print(f"ran {summary['runs']} runs via {summary['executor']}: "
+          f"{summary['statuses']}")
+    print(f"exact reconstructions: {summary['exact']}/{summary['runs']}")
+    print()
+    print(run.aggregate(by=["n"]).table())
+    print()
+
+    # ----------------------------------------------------------------- #
+    # 2. freeze → gate: the regression loop as two method calls
+    # ----------------------------------------------------------------- #
+    with tempfile.TemporaryDirectory() as baselines:
+        run.freeze("planar-quickstart", baselines_dir=baselines)
+        verdict = (
+            session.run()                       # identical seeds, fresh run
+            .aggregate(by=["n", "seed"])
+            .gate(baseline="planar-quickstart", baselines_dir=baselines)
+        )
+        print(f"regression gate vs frozen baseline: "
+              f"{'passed' if verdict.passed else 'FAILED'} "
+              f"({verdict.runs_checked} runs checked)")
+
+    # ----------------------------------------------------------------- #
+    # 3. the contract: fluent and hand-wired pipelines are one pipeline
+    # ----------------------------------------------------------------- #
+    hand_wired = Campaign(
+        [Scenario(name="by-hand", family="random_planar", sizes=(32, 64),
+                  protocol="degeneracy", seeds=(0, 1, 2),
+                  family_params={"keep_prob": 0.8}, protocol_params={"k": 5},
+                  shuffle_delivery=True)],
+        name="by-hand", results_dir=None,
+    ).run()
+
+    fluent = {r.spec.content_hash(): r.output_digest for r in run.records}
+    manual = {r.spec.content_hash(): r.output_digest for r in hand_wired.records}
+    assert fluent == manual, "Session and hand-wired records must be identical"
+    print(f"parity: {len(fluent)} content hashes + digests identical "
+          "to the hand-wired Campaign")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,11 +23,28 @@ from scratch, everything the paper builds on it:
 * the **results layer** (:mod:`repro.results`): schema-validated streaming
   record I/O, group-by analytics with the Lemma-2 ``bits/(k² log n)``
   normalization, campaign diffing on spec content hashes, and frozen
-  baselines that turn regressions into CI failures.
+  baselines that turn regressions into CI failures;
+* the **registry** (:mod:`repro.registry`): every pluggable piece — graph
+  families, protocols, experiments, builtin campaigns — self-registers
+  with capability metadata and a parameter schema, introspectable via
+  ``repro.registry.catalog()`` / ``python -m repro list``;
+* the **fluent API** (:mod:`repro.api`): ``Session`` chains the whole
+  pipeline (graphs → protocol → faults → executor → run → aggregate →
+  gate) and produces records identical to hand-wired campaigns.
 
-Quickstart::
+Quickstart (the fluent pipeline)::
 
-    from repro import LabeledGraph, DegeneracyReconstructionProtocol, Referee
+    from repro.api import Session
+
+    run = (Session("quick")
+           .graphs("random_planar", n=64, seeds=range(3))
+           .protocol("degeneracy", k=5)
+           .run())
+    print(run.aggregate(by=["n"]).table())
+
+or one round on one graph, by hand::
+
+    from repro import DegeneracyReconstructionProtocol, Referee
     from repro.graphs.generators import random_planar
 
     g = random_planar(64, seed=1)            # planar => degeneracy <= 5
@@ -42,98 +59,89 @@ experiments and builtin campaigns, and README.md shows the five-line
 campaign quickstart.
 """
 
-from repro.errors import (
-    ReproError,
-    BitstreamError,
-    CodecError,
-    GraphError,
-    ProtocolError,
-    FrugalityViolation,
-    DecodeError,
-    RecognitionFailure,
-    SketchFailure,
-)
-from repro.graphs import LabeledGraph, degeneracy
-from repro.model import (
-    Message,
-    OneRoundProtocol,
-    DecisionProtocol,
-    ReconstructionProtocol,
-    Referee,
-    RunReport,
-    FrugalityAuditor,
-    MultiRoundReferee,
-)
-from repro.protocols import (
-    DegeneracyReconstructionProtocol,
-    DegeneracyRecognitionProtocol,
-    ForestReconstructionProtocol,
-    GeneralizedDegeneracyProtocol,
-    BoundedDegreeProtocol,
-    PartitionConnectivityProtocol,
-)
-from repro.reductions import SquareReduction, DiameterReduction, TriangleReduction
-from repro.sketching import AGMConnectivityProtocol
-from repro.engine import (
-    Executor,
-    SerialExecutor,
-    ThreadPoolExecutor,
-    ProcessPoolExecutor,
-    FaultSpec,
-    Scenario,
-    RunSpec,
-    RunRecord,
-    Campaign,
-    builtin_campaign,
-    load_campaign,
-)
-from repro.results import aggregate, diff_campaigns, load_records
+import importlib
+from typing import Any
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-__all__ = [
-    "__version__",
-    "ReproError",
-    "BitstreamError",
-    "CodecError",
-    "GraphError",
-    "ProtocolError",
-    "FrugalityViolation",
-    "DecodeError",
-    "RecognitionFailure",
-    "SketchFailure",
-    "LabeledGraph",
-    "degeneracy",
-    "Message",
-    "OneRoundProtocol",
-    "DecisionProtocol",
-    "ReconstructionProtocol",
-    "Referee",
-    "RunReport",
-    "FrugalityAuditor",
-    "MultiRoundReferee",
-    "DegeneracyReconstructionProtocol",
-    "DegeneracyRecognitionProtocol",
-    "ForestReconstructionProtocol",
-    "GeneralizedDegeneracyProtocol",
-    "BoundedDegreeProtocol",
-    "PartitionConnectivityProtocol",
-    "SquareReduction",
-    "DiameterReduction",
-    "TriangleReduction",
-    "AGMConnectivityProtocol",
-    "Executor",
-    "SerialExecutor",
-    "ThreadPoolExecutor",
-    "ProcessPoolExecutor",
-    "FaultSpec",
-    "Scenario",
-    "RunSpec",
-    "RunRecord",
-    "Campaign",
-    "builtin_campaign",
-    "load_campaign",
-    "aggregate",
-    "diff_campaigns",
-    "load_records",
-]
+#: Lazy export map (PEP 562): public name -> defining module.  `import
+#: repro` stays cheap — protocols, engine, sketching, and the analysis
+#: stack load on first attribute access, and the registry layer
+#: (repro.registry) lazy-loads their registrations the same way.
+_LAZY_EXPORTS = {
+    # errors
+    "ReproError": "repro.errors",
+    "UnknownRegistryEntry": "repro.errors",
+    "BitstreamError": "repro.errors",
+    "CodecError": "repro.errors",
+    "GraphError": "repro.errors",
+    "ProtocolError": "repro.errors",
+    "FrugalityViolation": "repro.errors",
+    "DecodeError": "repro.errors",
+    "RecognitionFailure": "repro.errors",
+    "SketchFailure": "repro.errors",
+    # graphs
+    "LabeledGraph": "repro.graphs",
+    "degeneracy": "repro.graphs",
+    # model
+    "Message": "repro.model",
+    "OneRoundProtocol": "repro.model",
+    "DecisionProtocol": "repro.model",
+    "ReconstructionProtocol": "repro.model",
+    "Referee": "repro.model",
+    "RunReport": "repro.model",
+    "FrugalityAuditor": "repro.model",
+    "MultiRoundReferee": "repro.model",
+    # protocols
+    "DegeneracyReconstructionProtocol": "repro.protocols",
+    "DegeneracyRecognitionProtocol": "repro.protocols",
+    "ForestReconstructionProtocol": "repro.protocols",
+    "GeneralizedDegeneracyProtocol": "repro.protocols",
+    "BoundedDegreeProtocol": "repro.protocols",
+    "PartitionConnectivityProtocol": "repro.protocols",
+    # reductions
+    "SquareReduction": "repro.reductions",
+    "DiameterReduction": "repro.reductions",
+    "TriangleReduction": "repro.reductions",
+    # sketching
+    "AGMConnectivityProtocol": "repro.sketching",
+    # engine
+    "Executor": "repro.engine",
+    "SerialExecutor": "repro.engine",
+    "ThreadPoolExecutor": "repro.engine",
+    "ProcessPoolExecutor": "repro.engine",
+    "FaultSpec": "repro.engine",
+    "Scenario": "repro.engine",
+    "RunSpec": "repro.engine",
+    "RunRecord": "repro.engine",
+    "Campaign": "repro.engine",
+    "builtin_campaign": "repro.engine",
+    "load_campaign": "repro.engine",
+    # fluent front door
+    "Session": "repro.api",
+    # results
+    "aggregate": "repro.results",
+    "diff_campaigns": "repro.results",
+    "load_records": "repro.results",
+}
+
+__all__ = ["__version__", *_LAZY_EXPORTS]
+
+
+def __getattr__(name: str) -> Any:
+    module = _LAZY_EXPORTS.get(name)
+    if module is not None:
+        value = getattr(importlib.import_module(module), name)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    # subpackages resolve as attributes too (`import repro; repro.engine`)
+    try:
+        return importlib.import_module(f"repro.{name}")
+    except ModuleNotFoundError as exc:
+        if exc.name != f"repro.{name}":
+            raise  # a real missing dependency inside the submodule
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

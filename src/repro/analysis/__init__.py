@@ -9,7 +9,6 @@ tables as the paper-vs-measured record.
 
 from repro.analysis.tables import format_table
 from repro.analysis.experiments import (
-    EXPERIMENTS,
     exp_lemma1_counting,
     exp_lemma2_encoding,
     exp_lemma3_decoding,
@@ -29,9 +28,21 @@ from repro.analysis.experiments import (
     exp_results_gate,
 )
 
+
+def __getattr__(name: str):
+    # Deprecated: EXPERIMENTS is now the experiment registry
+    # (kind="experiment" in repro.registry); first touch warns.
+    if name == "EXPERIMENTS":
+        from repro.analysis import experiments
+
+        return experiments.EXPERIMENTS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# EXPERIMENTS resolves via __getattr__ (deprecated) but stays out of
+# __all__ so star-imports neither warn nor consume the warn-once latch.
 __all__ = [
     "format_table",
-    "EXPERIMENTS",
     "exp_lemma1_counting",
     "exp_lemma2_encoding",
     "exp_lemma3_decoding",

@@ -1,4 +1,4 @@
-"""One harness function per experiment ID (see DESIGN.md §5).
+"""One harness function per experiment ID (see DESIGN.md §6).
 
 Every function is deterministic given its arguments (generators are seeded)
 and cheap enough for a laptop; the default parameters are the ones quoted in
@@ -12,6 +12,7 @@ import time
 from collections.abc import Sequence
 
 from repro.graphs import LabeledGraph, degeneracy, diameter, has_square, has_triangle, is_connected
+from repro.registry import register
 from repro.graphs.counting import (
     bipartite_fixed_parts_count,
     count_square_free,
@@ -101,6 +102,7 @@ __all__ = [
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-L1", kind="experiment")
 def exp_lemma1_counting(ns: Sequence[int] = (4, 5, 6, 16, 64, 256, 1024, 4096)) -> Result:
     """Lemma 1: log2 family sizes vs the frugal capacity k·n·log2 n (k = 4).
 
@@ -138,6 +140,7 @@ def exp_lemma1_counting(ns: Sequence[int] = (4, 5, 6, 16, 64, 256, 1024, 4096)) 
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-L2", kind="experiment")
 def exp_lemma2_encoding(
     ns: Sequence[int] = (64, 256, 1024, 4096), ks: Sequence[int] = (1, 2, 3, 5)
 ) -> Result:
@@ -166,6 +169,7 @@ def exp_lemma2_encoding(
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-L3", kind="experiment")
 def exp_lemma3_decoding(n: int = 64, k: int = 3, trials: int = 200) -> Result:
     """Lemma 3: lookup-table decode vs Newton decode — agreement and speed."""
     import random
@@ -201,6 +205,7 @@ def exp_lemma3_decoding(n: int = 64, k: int = 3, trials: int = 200) -> Result:
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-T5", kind="experiment")
 def exp_theorem5_reconstruction(scale: int = 1) -> Result:
     """Theorem 5: exact reconstruction across the paper's graph classes.
 
@@ -254,6 +259,7 @@ def _reduction_rows(name, g, delta, gamma_bits, predicted):
     ]
 
 
+@register("EXP-T1", kind="experiment")
 def exp_theorem1_square(n: int = 10) -> Result:
     """Theorem 1: gadget iff-check + Algorithm 1 reconstruction via the oracle Γ."""
     headers = ["input", "n", "m", "Γ bits", "Δ bits", "Δ bits predicted", "global_ms", "exact"]
@@ -274,6 +280,7 @@ def exp_theorem1_square(n: int = 10) -> Result:
     )
 
 
+@register("EXP-T2", kind="experiment")
 def exp_theorem2_diameter(n: int = 7) -> Result:
     """Theorem 2 / Figure 1: diameter gadget + Algorithm 2 reconstruction."""
     headers = ["input", "n", "m", "Γ bits", "Δ bits", "Δ bits predicted", "global_ms", "exact"]
@@ -297,6 +304,7 @@ def exp_theorem2_diameter(n: int = 7) -> Result:
     )
 
 
+@register("EXP-T3", kind="experiment")
 def exp_theorem3_triangle(n: int = 10) -> Result:
     """Theorem 3 / Figure 2: triangle gadget + bipartite reconstruction."""
     headers = ["input", "n", "m", "Γ bits", "Δ bits", "Δ bits predicted", "global_ms", "exact"]
@@ -325,6 +333,7 @@ def exp_theorem3_triangle(n: int = 10) -> Result:
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-ADV", kind="experiment")
 def exp_adversary(max_n: int = 6) -> Result:
     """Collision search outcomes per frugal encoder (squares unless noted).
 
@@ -371,6 +380,7 @@ def exp_adversary(max_n: int = 6) -> Result:
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-FOREST", kind="experiment")
 def exp_forest(ns: Sequence[int] = (16, 64, 256, 1024, 4096)) -> Result:
     """Section III.A: forest triple size vs the paper's '< 4 log n bits'."""
     headers = ["n", "bits/node", "4*log2_ceil(n)", "within_bound", "decode_ms", "exact"]
@@ -389,6 +399,7 @@ def exp_forest(ns: Sequence[int] = (16, 64, 256, 1024, 4096)) -> Result:
     return ("EXP-FOREST  Section III.A: forests in one frugal round", headers, rows)
 
 
+@register("EXP-GD", kind="experiment")
 def exp_generalized_degeneracy() -> Result:
     """Section III.E: reconstruction where pruning may use the complement side."""
     from repro.graphs.generators import complete_graph
@@ -418,6 +429,7 @@ def exp_generalized_degeneracy() -> Result:
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-CONN", kind="experiment")
 def exp_connectivity_partition(n: int = 256, ks: Sequence[int] = (2, 4, 8, 16)) -> Result:
     """Conclusion: k-part coalition connectivity at ~2k log n bits per node."""
     headers = ["k_parts", "n", "graph", "bits/node(max)", "bits/(k*log2 n)", "verdict", "truth"]
@@ -437,6 +449,7 @@ def exp_connectivity_partition(n: int = 256, ks: Sequence[int] = (2, 4, 8, 16)) 
     return ("EXP-CONN  conclusion: partition connectivity, O(k log n) bits/node", headers, rows)
 
 
+@register("EXP-SKETCH", kind="experiment")
 def exp_connectivity_sketch(ns: Sequence[int] = (16, 32, 64, 128), seeds: int = 10) -> Result:
     """Open question (extension): AGM sketches, one round, O(log³ n) bits/node."""
     headers = ["n", "graph", "bits/node", "bits/log2^3(n)", "accuracy", "multiround bits/round"]
@@ -468,6 +481,7 @@ def exp_connectivity_sketch(ns: Sequence[int] = (16, 32, 64, 128), seeds: int = 
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-DEGEN", kind="experiment")
 def exp_degeneracy_classes() -> Result:
     """Section III preliminaries: degeneracy of the classes the paper names."""
     from repro.graphs.generators import polarity_graph
@@ -496,6 +510,7 @@ def exp_degeneracy_classes() -> Result:
 # --------------------------------------------------------------------- #
 
 
+@register("EXP-BIP", kind="experiment")
 def exp_bipartiteness_sketch(ns: Sequence[int] = (8, 16, 32), seeds: int = 8) -> Result:
     """Second open question (extension): one-round randomized bipartiteness
     via double-cover sketches."""
@@ -524,6 +539,7 @@ def exp_bipartiteness_sketch(ns: Sequence[int] = (8, 16, 32), seeds: int = 8) ->
     return ("EXP-BIP  open question 2: sketch bipartiteness (double cover)", headers, rows)
 
 
+@register("EXP-ROUNDS", kind="experiment")
 def exp_rounds_tradeoff(ns: Sequence[int] = (16, 32, 64)) -> Result:
     """Conclusion's rounds question: bits/message vs rounds across the spectrum.
 
@@ -560,6 +576,7 @@ def exp_rounds_tradeoff(ns: Sequence[int] = (16, 32, 64)) -> Result:
     return ("EXP-ROUNDS  conclusion: the rounds-for-bits trade-off", headers, rows)
 
 
+@register("EXP-COAL", kind="experiment")
 def exp_coalition(max_n: int = 5) -> Result:
     """The partition argument in its strengthened (coalition) form."""
     from repro.reductions.coalition import (
@@ -592,6 +609,7 @@ def exp_coalition(max_n: int = 5) -> Result:
     )
 
 
+@register("EXP-RESULTS", kind="experiment")
 def exp_results_gate() -> Result:
     """results layer — aggregation + self-diff gate over a micro-campaign."""
     from repro.engine import Campaign, Scenario
@@ -635,23 +653,16 @@ def exp_results_gate() -> Result:
     )
 
 
-#: registry used by the CLI and the benchmark table-writers
-EXPERIMENTS = {
-    "EXP-BIP": exp_bipartiteness_sketch,
-    "EXP-ROUNDS": exp_rounds_tradeoff,
-    "EXP-COAL": exp_coalition,
-    "EXP-L1": exp_lemma1_counting,
-    "EXP-L2": exp_lemma2_encoding,
-    "EXP-L3": exp_lemma3_decoding,
-    "EXP-T5": exp_theorem5_reconstruction,
-    "EXP-T1": exp_theorem1_square,
-    "EXP-T2": exp_theorem2_diameter,
-    "EXP-T3": exp_theorem3_triangle,
-    "EXP-ADV": exp_adversary,
-    "EXP-FOREST": exp_forest,
-    "EXP-GD": exp_generalized_degeneracy,
-    "EXP-CONN": exp_connectivity_partition,
-    "EXP-SKETCH": exp_connectivity_sketch,
-    "EXP-DEGEN": exp_degeneracy_classes,
-    "EXP-RESULTS": exp_results_gate,
-}
+# The EXPERIMENTS dict literal is gone — experiments register themselves
+# above (kind="experiment" in repro.registry); the old name survives as a
+# deprecated read-only view handed out by __getattr__ below.
+
+
+def __getattr__(name: str):
+    if name == "EXPERIMENTS":
+        from repro import registry
+
+        view = registry.EXPERIMENTS_VIEW
+        view._warn()
+        return view
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

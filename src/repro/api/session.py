@@ -1,0 +1,362 @@
+"""The fluent pipeline: graph grid → protocol → referee options → run → report.
+
+:class:`Session` is the front door to the whole system — one chainable
+builder that assembles the same :class:`~repro.engine.scenario.Scenario` /
+:class:`~repro.engine.campaign.Campaign` objects the engine always ran, so
+its records are *identical* (same spec content hashes, same output
+digests) to hand-wired campaigns.  The canonical chain::
+
+    from repro.api import Session
+
+    check = (
+        Session("planar-study")
+        .graphs("random_planar", n=[64, 256], seeds=range(5))
+        .protocol("degeneracy", k=5)
+        .faults(drop=0.01)
+        .executor("process")
+        .run()
+        .aggregate(by=["n"])
+        .gate(baseline="smoke")
+    )
+
+Every builder method returns a *new* session (copy-on-write), so partial
+chains are reusable prefixes::
+
+    base = Session().protocol("forest")
+    a = base.graphs("random_forest", n=64)
+    b = base.graphs("random_tree", n=[32, 64])
+
+Names resolve through :mod:`repro.registry` at call time, so typos fail
+fast with a did-you-mean suggestion instead of surfacing mid-campaign.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import registry
+from repro.errors import BaselineError, ProtocolError
+from repro.analysis.tables import format_table
+from repro.engine.campaign import Campaign, CampaignResult
+from repro.engine.executor import EXECUTOR_KINDS, Executor, make_executor
+from repro.engine.faults import FaultSpec
+from repro.engine.scenario import RunRecord, Scenario
+from repro.results.aggregate import DEFAULT_AXES, aggregate, aggregate_table
+from repro.results.baseline import (
+    DEFAULT_BASELINES_DIR,
+    BaselineCheck,
+    check as baseline_check,
+    freeze as baseline_freeze,
+)
+
+__all__ = ["Session", "SessionRun", "SessionAggregate"]
+
+
+@dataclass(frozen=True)
+class _GraphBlock:
+    """One ``graphs()`` call: a family swept over sizes × seeds."""
+
+    family: str
+    sizes: tuple[int, ...]
+    seeds: tuple[int, ...]
+    params: tuple[tuple[str, Any], ...]
+
+
+def _as_tuple(value: int | Iterable[int], what: str) -> tuple[int, ...]:
+    if isinstance(value, int):
+        return (value,)
+    if isinstance(value, (str, bytes)):
+        # iterating "64" would silently run sizes (6, 4)
+        raise ProtocolError(
+            f"Session: {what} must be an int or an iterable of ints, "
+            f"got the string {value!r}"
+        )
+    out = tuple(int(v) for v in value)
+    if not out:
+        raise ProtocolError(f"Session: {what} must be non-empty")
+    return out
+
+
+class Session:
+    """Chainable builder over the graph → protocol → campaign pipeline.
+
+    Builder methods never mutate; each returns a derived session.  The
+    terminal :meth:`run` builds a :class:`Campaign` (also reachable via
+    :meth:`build` for inspection) and executes it.  By default nothing is
+    written to disk — chain :meth:`persist` to stream JSONL records and
+    enable the content-hash cache, exactly like the CLI's
+    ``--results-dir``.
+    """
+
+    def __init__(self, name: str = "session") -> None:
+        self._name = name
+        self._blocks: list[_GraphBlock] = []
+        self._protocol: str | None = None
+        self._protocol_params: dict[str, Any] = {}
+        self._faults: FaultSpec | None = None
+        self._budget_bits: int | None = None
+        self._shuffle: bool = False
+        self._executor_kind: str = "serial"
+        self._jobs: int | None = None
+        self._results_dir: str | pathlib.Path | None = None
+        self._use_cache: bool = True
+
+    # ------------------------------------------------------------------ #
+    # builder steps (copy-on-write)
+    # ------------------------------------------------------------------ #
+
+    def _clone(self) -> "Session":
+        clone = Session.__new__(Session)
+        clone.__dict__.update(self.__dict__)
+        clone._blocks = list(self._blocks)
+        clone._protocol_params = dict(self._protocol_params)
+        return clone
+
+    def graphs(
+        self,
+        family: str,
+        *,
+        n: int | Iterable[int],
+        seeds: int | Iterable[int] = (0,),
+        **family_params: Any,
+    ) -> "Session":
+        """Add a graph block: ``family`` swept over ``n`` × ``seeds``.
+
+        ``n`` and ``seeds`` take a single value or any iterable (lists,
+        tuples, ``range``).  Repeated calls add further blocks, all run
+        under the session's one protocol and referee configuration.
+        """
+        family = registry.GRAPH_FAMILY.resolve(family)  # fail fast on typos
+        registry.GRAPH_FAMILY.validate_params(family, family_params)
+        clone = self._clone()
+        clone._blocks.append(_GraphBlock(
+            family=family,
+            sizes=_as_tuple(n, "n"),
+            seeds=_as_tuple(seeds, "seeds"),
+            params=tuple(sorted(family_params.items())),
+        ))
+        return clone
+
+    def protocol(self, name: str, **protocol_params: Any) -> "Session":
+        """Select the one-round protocol every block runs (last call wins)."""
+        name = registry.PROTOCOL.resolve(name)
+        registry.PROTOCOL.validate_params(name, protocol_params)
+        clone = self._clone()
+        clone._protocol = name
+        clone._protocol_params = dict(protocol_params)
+        return clone
+
+    def faults(
+        self,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        flip: float = 0.0,
+        seed: int = 0,
+    ) -> "Session":
+        """Inject transit faults on the node→referee link."""
+        clone = self._clone()
+        clone._faults = FaultSpec(drop=drop, duplicate=duplicate, flip=flip, seed=seed)
+        return clone
+
+    def budget(self, bits: int | None) -> "Session":
+        """Hard per-message frugality cap (``None`` removes it)."""
+        clone = self._clone()
+        clone._budget_bits = bits
+        return clone
+
+    def shuffle(self, enabled: bool = True) -> "Session":
+        """Deliver messages in adversarial order (re-indexed by ID)."""
+        clone = self._clone()
+        clone._shuffle = bool(enabled)
+        return clone
+
+    def executor(self, kind: str, *, jobs: int | None = None) -> "Session":
+        """Execution backend for :meth:`run`: serial, thread, or process."""
+        if kind not in EXECUTOR_KINDS:
+            raise ProtocolError(
+                f"unknown executor {kind!r}; known: {', '.join(EXECUTOR_KINDS)}"
+            )
+        clone = self._clone()
+        clone._executor_kind = kind
+        clone._jobs = jobs
+        return clone
+
+    def persist(
+        self,
+        results_dir: str | pathlib.Path | None = "results",
+        *,
+        use_cache: bool = True,
+    ) -> "Session":
+        """Stream JSONL records under ``results_dir`` and enable the cache."""
+        clone = self._clone()
+        clone._results_dir = results_dir
+        clone._use_cache = use_cache
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # terminal steps
+    # ------------------------------------------------------------------ #
+
+    def scenarios(self) -> list[Scenario]:
+        """The scenario blocks this session describes (one per ``graphs()``)."""
+        if not self._blocks:
+            raise ProtocolError(
+                "Session has no graph blocks; chain .graphs(family, n=...) first"
+            )
+        if self._protocol is None:
+            raise ProtocolError(
+                "Session has no protocol; chain .protocol(name, ...) first"
+            )
+        return [
+            Scenario(
+                name=f"{self._name}-{i}-{block.family}",
+                family=block.family,
+                sizes=block.sizes,
+                protocol=self._protocol,
+                seeds=block.seeds,
+                family_params=block.params,
+                protocol_params=self._protocol_params,
+                budget_bits=self._budget_bits,
+                shuffle_delivery=self._shuffle,
+                faults=self._faults,
+            )
+            for i, block in enumerate(self._blocks)
+        ]
+
+    def build(self) -> Campaign:
+        """The equivalent hand-wired :class:`Campaign` (records are identical)."""
+        return Campaign(
+            self.scenarios(),
+            name=self._name,
+            results_dir=self._results_dir,
+            use_cache=self._use_cache,
+        )
+
+    def run(self, executor: Executor | None = None) -> "SessionRun":
+        """Execute the campaign and return the chainable result."""
+        campaign = self.build()
+        if executor is not None:
+            result = campaign.run(executor)
+        else:
+            with make_executor(self._executor_kind, self._jobs) as ex:
+                result = campaign.run(ex)
+        return SessionRun(session=self, result=result)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        blocks = ", ".join(b.family for b in self._blocks) or "(no graphs)"
+        return (f"Session({self._name!r}, graphs=[{blocks}], "
+                f"protocol={self._protocol!r}, executor={self._executor_kind!r})")
+
+
+@dataclass
+class SessionRun:
+    """A finished session run: records plus the chainable read side."""
+
+    session: Session
+    result: CampaignResult
+    _json_dicts: list[dict] | None = field(default=None, repr=False)
+
+    @property
+    def records(self) -> list[RunRecord]:
+        """The run records, in deterministic spec order."""
+        return self.result.records
+
+    def to_json_dicts(self) -> list[dict]:
+        """The records in JSONL-object form (the results-layer currency).
+
+        Serialized once and cached — chained ``aggregate``/``gate``/
+        ``freeze`` calls on a large campaign reuse the same list.
+        """
+        if self._json_dicts is None:
+            self._json_dicts = [r.to_json_dict() for r in self.records]
+        return self._json_dicts
+
+    def summary(self) -> dict[str, Any]:
+        """The campaign summary (same shape as ``repro campaign --json``)."""
+        return self.result.summary()
+
+    def aggregate(
+        self,
+        *,
+        by: Sequence[str] = DEFAULT_AXES,
+        include_timing: bool = False,
+    ) -> "SessionAggregate":
+        """Group-by over spec axes (``repro report`` as a method)."""
+        groups = aggregate(self.to_json_dicts(), by=tuple(by),
+                           include_timing=include_timing)
+        return SessionAggregate(run=self, by=tuple(by), groups=groups,
+                                include_timing=include_timing)
+
+    def gate(
+        self,
+        *,
+        baseline: str | pathlib.Path | Mapping,
+        bits_tolerance: float = 0.0,
+        baselines_dir: str | pathlib.Path = DEFAULT_BASELINES_DIR,
+    ) -> BaselineCheck:
+        """Check this run against a frozen baseline (``repro baseline check``).
+
+        ``baseline`` is a baseline *name* (a bare string: resolved to
+        ``<baselines_dir>/<name>.json``), a path to a frozen JSON file
+        (anything with a suffix or a directory part), or an
+        already-loaded baseline mapping.
+        """
+        if isinstance(baseline, str):
+            as_path = pathlib.Path(baseline)
+            if len(as_path.parts) == 1 and not as_path.suffix:
+                # a bare name always means the baselines directory — a
+                # stray cwd file with the same name must not shadow it
+                candidate = pathlib.Path(baselines_dir) / f"{baseline}.json"
+                if not candidate.exists():
+                    raise BaselineError(
+                        f"baseline {baseline!r} does not exist under "
+                        f"{baselines_dir} (expected {candidate})"
+                    )
+                baseline = candidate
+        return baseline_check(self.to_json_dicts(), baseline,
+                              bits_tolerance=bits_tolerance)
+
+    def freeze(
+        self,
+        name: str,
+        *,
+        baselines_dir: str | pathlib.Path = DEFAULT_BASELINES_DIR,
+    ) -> pathlib.Path:
+        """Freeze this run as a named baseline for future :meth:`gate` calls."""
+        return baseline_freeze(self.to_json_dicts(), name,
+                               baselines_dir=baselines_dir)
+
+
+@dataclass
+class SessionAggregate:
+    """Aggregated groups, still chainable into the regression gate."""
+
+    run: SessionRun
+    by: tuple[str, ...]
+    groups: list[dict] = field(repr=False, default_factory=list)
+    include_timing: bool = False
+
+    def table(self, *, title: str | None = None) -> str:
+        """The aligned plain-text report table."""
+        t, headers, rows = aggregate_table(
+            self.groups, self.by,
+            title=title or f"session {self.run.result.name} — "
+                           f"{self.run.result.summary()['runs']} runs "
+                           f"by {', '.join(self.by)}",
+            include_timing=self.include_timing,
+        )
+        return format_table(t, headers, rows)
+
+    def gate(self, **kwargs: Any) -> BaselineCheck:
+        """Gate the *underlying run* (all records, not just these groups)."""
+        return self.run.gate(**kwargs)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)

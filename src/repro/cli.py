@@ -31,7 +31,8 @@ import argparse
 import json
 import sys
 
-from repro.analysis import EXPERIMENTS, format_table
+from repro import registry
+from repro.analysis import format_table
 
 __all__ = ["main"]
 
@@ -48,7 +49,11 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="command", metavar="{" + ",".join(_SUBCOMMANDS) + "}"
     )
 
-    p_list = sub.add_parser("list", help="show experiment IDs and builtin campaigns")
+    p_list = sub.add_parser(
+        "list", help="show the registry catalog (families, protocols, "
+        "experiments, campaigns)")
+    p_list.add_argument("--kind", choices=registry.kinds(), default=None,
+                        help="restrict the listing to one registry kind")
     p_list.add_argument("--json", action="store_true", help="machine-readable output")
 
     p_exp = sub.add_parser("experiment", help="run one experiment table (or 'all')")
@@ -102,39 +107,53 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list(args: argparse.Namespace) -> int:
-    from repro.engine import BUILTIN_CAMPAIGNS
+_KIND_HEADINGS = {
+    "graph_family": "graph families",
+    "protocol": "protocols",
+    "experiment": "experiments",
+    "campaign": "campaigns",
+}
 
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    """Emit the registry catalog: kinds, capabilities, params, summaries.
+
+    Key ordering is stable everywhere — kinds, entry names, and parameter
+    names are sorted, and the JSON form is dumped with ``sort_keys`` — so
+    the output is diffable and the api-surface CI job can pin it.
+    """
+    if args.kind is not None:
+        # load only the requested kind's modules, not the whole surface
+        catalog = {args.kind: registry.registry_for(args.kind).catalog()}
+    else:
+        catalog = registry.catalog()
     if args.json:
-        payload = {
-            "experiments": [
-                {"id": exp_id, "title": (fn.__doc__ or "").strip().splitlines()[0]}
-                for exp_id, fn in EXPERIMENTS.items()
-            ],
-            "campaigns": sorted(BUILTIN_CAMPAIGNS),
-        }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(catalog, indent=2, sort_keys=True))
         return 0
-    print("experiments:")
-    for exp_id, fn in EXPERIMENTS.items():
-        doc = (fn.__doc__ or "").strip().splitlines()[0]
-        print(f"  {exp_id:12s} {doc}")
-    print("campaigns:")
-    for name in sorted(BUILTIN_CAMPAIGNS):
-        print(f"  {name}")
+    for kind, entries in catalog.items():  # kinds sorted by catalog()
+        print(f"{_KIND_HEADINGS.get(kind, kind)}:")
+        for name, meta in entries.items():
+            tags = f" [{', '.join(meta['capabilities'])}]" if meta["capabilities"] else ""
+            params = ", ".join(f"{k}: {v}" for k, v in meta["params"].items())
+            print(f"  {name:24s}{tags} {meta['summary']}".rstrip())
+            if params:
+                print(f"  {'':24s}   params: {params}")
+            if meta["aliases"]:
+                print(f"  {'':24s}   aliases: {', '.join(meta['aliases'])}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    unknown = [i for i in ids if i not in EXPERIMENTS]
+    experiments = registry.EXPERIMENT
+    ids = list(experiments.names()) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in ids if i not in experiments]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        for name in unknown:
+            print(experiments.unknown(name), file=sys.stderr)
         return 2
     tables = []
     for exp_id in ids:
-        title, headers, rows = EXPERIMENTS[exp_id]()
+        title, headers, rows = experiments.build(exp_id)
         if args.json:
             tables.append({"id": exp_id, "title": title, "headers": headers,
                            "rows": [list(r) for r in rows]})

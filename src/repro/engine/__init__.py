@@ -39,8 +39,6 @@ from repro.engine.executor import (
 )
 from repro.engine.faults import FaultCounters, FaultInjector, FaultSpec
 from repro.engine.scenario import (
-    GRAPH_FAMILIES,
-    PROTOCOL_BUILDERS,
     RunRecord,
     RunSpec,
     Scenario,
@@ -48,12 +46,26 @@ from repro.engine.scenario import (
     output_digest,
 )
 from repro.engine.campaign import (
-    BUILTIN_CAMPAIGNS,
     Campaign,
     CampaignResult,
     builtin_campaign,
     load_campaign,
 )
+
+
+def __getattr__(name: str):
+    # Deprecated registry-dict names (GRAPH_FAMILIES, PROTOCOL_BUILDERS,
+    # BUILTIN_CAMPAIGNS) resolve lazily so `import repro` stays silent;
+    # the first touch warns DeprecationWarning via the compat views.
+    if name in ("GRAPH_FAMILIES", "PROTOCOL_BUILDERS"):
+        from repro.engine import scenario
+
+        return getattr(scenario, name)
+    if name == "BUILTIN_CAMPAIGNS":
+        from repro.engine import campaign
+
+        return campaign.BUILTIN_CAMPAIGNS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Executor",
@@ -66,8 +78,6 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "FaultCounters",
-    "GRAPH_FAMILIES",
-    "PROTOCOL_BUILDERS",
     "Scenario",
     "RunSpec",
     "RunRecord",
@@ -75,7 +85,6 @@ __all__ = [
     "output_digest",
     "Campaign",
     "CampaignResult",
-    "BUILTIN_CAMPAIGNS",
     "builtin_campaign",
     "load_campaign",
 ]

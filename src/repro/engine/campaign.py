@@ -23,7 +23,7 @@ Campaign specs are plain JSON (see :func:`load_campaign`)::
         "protocol": "degeneracy", "seeds": [0, 1, 2],
         "family_params": {"k": 2}, "protocol_params": {"k": 2}}]}
 
-Builtin campaigns (:data:`BUILTIN_CAMPAIGNS`) cover the smoke test, the
+Builtin campaigns (kind ``campaign`` in :mod:`repro.registry`) cover the smoke test, the
 reconstruction and connectivity sweeps, the fault-robustness study, and the
 fixed benchmark load used by ``benchmarks/bench_engine.py``.
 """
@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import registry
 from repro.errors import ProtocolError
+from repro.model.referee import monotonic_clock
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.faults import FaultSpec
 from repro.engine.scenario import RunRecord, RunSpec, Scenario, execute_run
@@ -45,10 +46,19 @@ from repro.engine.scenario import RunRecord, RunSpec, Scenario, execute_run
 __all__ = [
     "Campaign",
     "CampaignResult",
-    "BUILTIN_CAMPAIGNS",
     "builtin_campaign",
     "load_campaign",
 ]
+
+
+def __getattr__(name: str):
+    # PEP 562 deprecation shim: the old builtin-campaign dict is now a
+    # read-only registry view that warns DeprecationWarning once.
+    if name == "BUILTIN_CAMPAIGNS":
+        view = registry.BUILTIN_CAMPAIGNS_VIEW
+        view._warn()
+        return view
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -172,7 +182,7 @@ class Campaign:
 
     def run(self, executor: Executor | None = None) -> CampaignResult:
         """Execute the whole grid and persist the JSONL record stream."""
-        t0 = time.perf_counter()
+        t0 = monotonic_clock()
         executor = executor or SerialExecutor()
         specs = self.specs()
 
@@ -199,7 +209,7 @@ class Campaign:
             cache_hits=len(specs) - len(misses),
             cache_misses=len(misses),
             executor_kind=executor.kind,
-            wall_seconds=time.perf_counter() - t0,
+            wall_seconds=monotonic_clock() - t0,
         )
 
     # ------------------------------------------------------------------ #
@@ -234,6 +244,7 @@ class Campaign:
 # --------------------------------------------------------------------- #
 
 
+@registry.register("smoke", kind="campaign")
 def _builtin_smoke() -> list[Scenario]:
     """Seconds-long sanity sweep touching reconstruction, sketching, faults."""
     return [
@@ -250,6 +261,7 @@ def _builtin_smoke() -> list[Scenario]:
     ]
 
 
+@registry.register("degeneracy-sweep", kind="campaign")
 def _builtin_degeneracy_sweep() -> list[Scenario]:
     """Theorem 5 at campaign scale: k ∈ {1,2,3} across sizes and seeds."""
     return [
@@ -260,6 +272,7 @@ def _builtin_degeneracy_sweep() -> list[Scenario]:
     ]
 
 
+@registry.register("connectivity-sweep", kind="campaign")
 def _builtin_connectivity_sweep() -> list[Scenario]:
     """AGM sketch accuracy: connected vs two-component inputs, many seeds."""
     sketch_seeds = tuple(range(8))
@@ -276,6 +289,7 @@ def _builtin_connectivity_sweep() -> list[Scenario]:
     ]
 
 
+@registry.register("faults", kind="campaign")
 def _builtin_faults() -> list[Scenario]:
     """Robustness: reconstruction and sketching under increasing fault rates."""
     out = []
@@ -292,6 +306,7 @@ def _builtin_faults() -> list[Scenario]:
     return out
 
 
+@registry.register("bench", kind="campaign")
 def _builtin_bench() -> list[Scenario]:
     """The fixed load bench_engine.py times: 32 reconstructions at n=512."""
     return [
@@ -301,29 +316,16 @@ def _builtin_bench() -> list[Scenario]:
     ]
 
 
-BUILTIN_CAMPAIGNS: dict[str, Any] = {
-    "smoke": _builtin_smoke,
-    "degeneracy-sweep": _builtin_degeneracy_sweep,
-    "connectivity-sweep": _builtin_connectivity_sweep,
-    "faults": _builtin_faults,
-    "bench": _builtin_bench,
-}
-
-
 def builtin_campaign(
     name: str,
     *,
     results_dir: str | pathlib.Path | None = "results",
     use_cache: bool = True,
 ) -> Campaign:
-    """Instantiate a builtin campaign by name."""
-    try:
-        scenarios = BUILTIN_CAMPAIGNS[name]()
-    except KeyError:
-        raise ProtocolError(
-            f"unknown builtin campaign {name!r}; known: {', '.join(BUILTIN_CAMPAIGNS)}"
-        ) from None
-    return Campaign(scenarios, name=name, results_dir=results_dir, use_cache=use_cache)
+    """Instantiate a builtin campaign by name (from the campaign registry)."""
+    canonical = registry.CAMPAIGN.resolve(name)  # UnknownRegistryEntry on typos
+    return Campaign(registry.CAMPAIGN.get(canonical)(), name=canonical,
+                    results_dir=results_dir, use_cache=use_cache)
 
 
 def load_campaign(
@@ -333,12 +335,13 @@ def load_campaign(
     use_cache: bool = True,
 ) -> Campaign:
     """A builtin name, or a path to a JSON campaign spec."""
-    if isinstance(source, str) and source in BUILTIN_CAMPAIGNS:
+    if isinstance(source, str) and source in registry.CAMPAIGN:
         return builtin_campaign(source, results_dir=results_dir, use_cache=use_cache)
     path = pathlib.Path(source)
     if not path.exists():
+        known = ", ".join(registry.CAMPAIGN.names())
         raise ProtocolError(
-            f"{source!r} is neither a builtin campaign ({', '.join(BUILTIN_CAMPAIGNS)}) "
+            f"{source!r} is neither a builtin campaign ({known}) "
             "nor an existing spec file"
         )
     return Campaign.from_dict(

@@ -6,8 +6,17 @@ faults).  :meth:`Scenario.expand` multiplies the grid out into
 :class:`RunSpec` values — small frozen records that fully determine one
 run.  A ``RunSpec`` deliberately carries *names and parameters*, never
 graph or protocol objects: process-pool workers rebuild both locally from
-the registries below, so fanning out a campaign ships a few hundred bytes
-per run instead of a pickled adjacency structure.
+the :mod:`repro.registry` registries, so fanning out a campaign ships a
+few hundred bytes per run instead of a pickled adjacency structure.
+
+Names are validated at construction time against the registries
+(:data:`repro.registry.GRAPH_FAMILY` / :data:`repro.registry.PROTOCOL`);
+a typo raises :class:`~repro.errors.UnknownRegistryEntry` naming the
+nearest known entry (``unknown protocol 'degenracy'; did you mean
+'degeneracy'?``).  The pre-registry dict literals survive as deprecated
+read-only views — accessing ``GRAPH_FAMILIES`` / ``PROTOCOL_BUILDERS``
+on this module warns ``DeprecationWarning`` once and resolves through the
+registry.
 
 Determinism contract (the SciLLM/APEX seed discipline from SNIPPETS.md):
 every random choice in a run is a pure function of the spec — the graph
@@ -22,35 +31,21 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
-from collections.abc import Callable, Iterator, Mapping
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import registry
 from repro.errors import DecodeError, FrugalityViolation, ProtocolError, ReproError
-from repro.graphs.generators import (
-    apollonian,
-    cycle_graph,
-    disjoint_union,
-    erdos_renyi,
-    grid_2d,
-    hypercube,
-    path_graph,
-    random_bipartite,
-    random_forest,
-    random_k_degenerate,
-    random_planar,
-    random_tree,
-    star_graph,
-)
 from repro.graphs.labeled import LabeledGraph
 from repro.model.protocol import OneRoundProtocol
-from repro.model.referee import Referee, RunReport
+from repro.model.referee import Referee, RunReport, monotonic_clock
 from repro.engine.faults import FaultCounters, FaultSpec
 
+# GRAPH_FAMILIES / PROTOCOL_BUILDERS resolve via __getattr__ (deprecated)
+# but are kept out of __all__ so star-imports neither warn nor consume the
+# views' warn-once latches.
 __all__ = [
-    "GRAPH_FAMILIES",
-    "PROTOCOL_BUILDERS",
     "Scenario",
     "RunSpec",
     "RunRecord",
@@ -67,143 +62,19 @@ SPEC_VERSION = 2
 Params = tuple[tuple[str, Any], ...]
 
 
-# --------------------------------------------------------------------- #
-# registries
-# --------------------------------------------------------------------- #
-
-
-def _family_path(n: int, seed: int) -> LabeledGraph:
-    return path_graph(n)
-
-
-def _family_cycle(n: int, seed: int) -> LabeledGraph:
-    return cycle_graph(n)
-
-
-def _family_star(n: int, seed: int) -> LabeledGraph:
-    return star_graph(n)
-
-
-def _family_grid(n: int, seed: int) -> LabeledGraph:
-    # Squarest factorization with exactly n vertices (worst case 1 x n).
-    if n < 1:
-        raise ProtocolError(f"grid family needs size >= 1, got {n}")
-    rows = next(d for d in range(int(n**0.5), 0, -1) if n % d == 0)
-    return grid_2d(rows, n // rows)
-
-
-def _family_hypercube(n: int, seed: int) -> LabeledGraph:
-    dim = max(0, n.bit_length() - 1)
-    if n < 2 or (1 << dim) != n:
-        raise ProtocolError(
-            f"hypercube family needs a power-of-two size >= 2, got {n}"
-        )
-    return hypercube(dim)
-
-
-def _family_random_tree(n: int, seed: int) -> LabeledGraph:
-    return random_tree(n, seed=seed)
-
-
-def _family_random_forest(n: int, seed: int, n_trees: int | None = None) -> LabeledGraph:
-    return random_forest(n, n_trees if n_trees is not None else max(1, n // 20), seed=seed)
-
-
-def _family_two_components(n: int, seed: int) -> LabeledGraph:
-    a = n // 2
-    return disjoint_union(random_tree(a, seed=seed), random_tree(n - a, seed=seed + 1))
-
-
-def _family_erdos_renyi(n: int, seed: int, p: float = 0.1) -> LabeledGraph:
-    return erdos_renyi(n, p, seed=seed)
-
-
-def _family_random_bipartite(n: int, seed: int, p: float = 0.3) -> LabeledGraph:
-    return random_bipartite(n // 2, n - n // 2, p, seed=seed)
-
-
-def _family_k_degenerate(n: int, seed: int, k: int = 2) -> LabeledGraph:
-    return random_k_degenerate(n, k, seed=seed)
-
-
-def _family_planar(n: int, seed: int, keep_prob: float = 0.8) -> LabeledGraph:
-    return random_planar(n, keep_prob, seed=seed)
-
-
-def _family_apollonian(n: int, seed: int) -> LabeledGraph:
-    return apollonian(n, seed=seed)
-
-
-#: name -> builder(n, seed, **family_params) -> LabeledGraph
-GRAPH_FAMILIES: dict[str, Callable[..., LabeledGraph]] = {
-    "path": _family_path,
-    "cycle": _family_cycle,
-    "star": _family_star,
-    "grid": _family_grid,
-    "hypercube": _family_hypercube,
-    "random_tree": _family_random_tree,
-    "random_forest": _family_random_forest,
-    "two_components": _family_two_components,
-    "erdos_renyi": _family_erdos_renyi,
-    "random_bipartite": _family_random_bipartite,
-    "random_k_degenerate": _family_k_degenerate,
-    "random_planar": _family_planar,
-    "apollonian": _family_apollonian,
-}
-
-
-def _protocol_degeneracy(n: int, k: int = 2, decoder: str = "newton") -> OneRoundProtocol:
-    from repro.protocols import DegeneracyReconstructionProtocol
-
-    return DegeneracyReconstructionProtocol(k, decoder=decoder)
-
-
-def _protocol_forest(n: int) -> OneRoundProtocol:
-    from repro.protocols import ForestReconstructionProtocol
-
-    return ForestReconstructionProtocol()
-
-
-def _protocol_generalized_degeneracy(n: int, k: int = 1) -> OneRoundProtocol:
-    from repro.protocols import GeneralizedDegeneracyProtocol
-
-    return GeneralizedDegeneracyProtocol(k)
-
-
-def _protocol_bounded_degree(n: int, max_degree: int = 3) -> OneRoundProtocol:
-    from repro.protocols import BoundedDegreeProtocol
-
-    return BoundedDegreeProtocol(max_degree)
-
-
-def _protocol_agm_connectivity(n: int, sketch_seed: int = 0) -> OneRoundProtocol:
-    from repro.sketching import AGMConnectivityProtocol
-
-    return AGMConnectivityProtocol(seed=sketch_seed)
-
-
-def _protocol_sketch_bipartiteness(n: int, sketch_seed: int = 0) -> OneRoundProtocol:
-    from repro.sketching import SketchBipartitenessProtocol
-
-    return SketchBipartitenessProtocol(seed=sketch_seed)
-
-
-def _protocol_full_adjacency(n: int) -> OneRoundProtocol:
-    from repro.protocols.trivial import FullAdjacencyProtocol
-
-    return FullAdjacencyProtocol()
-
-
-#: name -> builder(n, **protocol_params) -> OneRoundProtocol
-PROTOCOL_BUILDERS: dict[str, Callable[..., OneRoundProtocol]] = {
-    "degeneracy": _protocol_degeneracy,
-    "forest": _protocol_forest,
-    "generalized_degeneracy": _protocol_generalized_degeneracy,
-    "bounded_degree": _protocol_bounded_degree,
-    "agm_connectivity": _protocol_agm_connectivity,
-    "sketch_bipartiteness": _protocol_sketch_bipartiteness,
-    "full_adjacency": _protocol_full_adjacency,
-}
+def __getattr__(name: str):
+    # PEP 562 deprecation shims: the old registry dicts live on as
+    # read-only views that warn once on first touch (even when that touch
+    # is `from repro.engine.scenario import PROTOCOL_BUILDERS`).
+    if name == "GRAPH_FAMILIES":
+        view = registry.GRAPH_FAMILIES_VIEW
+        view._warn()
+        return view
+    if name == "PROTOCOL_BUILDERS":
+        view = registry.PROTOCOL_BUILDERS_VIEW
+        view._warn()
+        return view
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _as_params(value: Mapping[str, Any] | Params | None) -> Params:
@@ -240,18 +111,17 @@ class Scenario:
     faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
-        if self.family not in GRAPH_FAMILIES:
-            raise ProtocolError(
-                f"unknown graph family {self.family!r}; known: {', '.join(GRAPH_FAMILIES)}"
-            )
-        if self.protocol not in PROTOCOL_BUILDERS:
-            raise ProtocolError(
-                f"unknown protocol {self.protocol!r}; known: {', '.join(PROTOCOL_BUILDERS)}"
-            )
+        # Canonicalize names eagerly (aliases resolve here, so specs,
+        # content hashes, and cache keys always carry canonical names);
+        # unknown names raise UnknownRegistryEntry with a did-you-mean.
+        object.__setattr__(self, "family", registry.GRAPH_FAMILY.resolve(self.family))
+        object.__setattr__(self, "protocol", registry.PROTOCOL.resolve(self.protocol))
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         object.__setattr__(self, "family_params", _as_params(self.family_params))
         object.__setattr__(self, "protocol_params", _as_params(self.protocol_params))
+        registry.GRAPH_FAMILY.validate_params(self.family, dict(self.family_params))
+        registry.PROTOCOL.validate_params(self.protocol, dict(self.protocol_params))
         if not self.sizes:
             raise ProtocolError(f"scenario {self.name!r}: sizes must be non-empty")
         if not self.seeds:
@@ -339,11 +209,15 @@ class RunSpec:
 
     def build_graph(self) -> LabeledGraph:
         """Instantiate the input graph from the family registry."""
-        return GRAPH_FAMILIES[self.family](self.n, self.seed, **dict(self.family_params))
+        return registry.GRAPH_FAMILY.get(self.family)(
+            self.n, self.seed, **dict(self.family_params)
+        )
 
     def build_protocol(self) -> OneRoundProtocol:
-        """Instantiate the protocol from the builder registry."""
-        return PROTOCOL_BUILDERS[self.protocol](self.n, **dict(self.protocol_params))
+        """Instantiate the protocol from the protocol registry."""
+        return registry.PROTOCOL.get(self.protocol)(
+            self.n, **dict(self.protocol_params)
+        )
 
     def to_dict(self) -> dict:
         """Canonical JSON object form — the input to :meth:`content_hash`."""
@@ -478,7 +352,7 @@ def execute_run(spec: RunSpec) -> RunRecord:
     frugality violation or a decode failure under fault injection becomes a
     ``status`` of ``"violation"``/``"error"``, never a crashed campaign.
     """
-    t0 = time.perf_counter()
+    t0 = monotonic_clock()
     record = RunRecord(spec=spec, status="ok")
     try:
         g = spec.build_graph()
@@ -514,5 +388,5 @@ def execute_run(spec: RunSpec) -> RunRecord:
             "local_seconds": report.local_seconds,
             "global_seconds": report.global_seconds,
         }
-    record.timing["wall_seconds"] = time.perf_counter() - t0
+    record.timing["wall_seconds"] = monotonic_clock() - t0
     return record

@@ -21,6 +21,8 @@ __all__ = [
     "DecodeError",
     "RecognitionFailure",
     "SketchFailure",
+    "RegistryError",
+    "UnknownRegistryEntry",
     "ResultsError",
     "SchemaError",
     "BaselineError",
@@ -83,6 +85,40 @@ class RecognitionFailure(DecodeError):
     def __init__(self, message: str, *, stuck_vertices: frozenset[int] = frozenset()):
         super().__init__(message)
         self.stuck_vertices = stuck_vertices
+
+
+class RegistryError(ProtocolError):
+    """Raised on bad registrations (duplicate names, colliding aliases)."""
+
+
+class UnknownRegistryEntry(ProtocolError, KeyError):
+    """A name was looked up in a registry that has no such entry.
+
+    Subclasses :class:`ProtocolError` (so the pre-registry ``except``
+    clauses keep working) *and* :class:`KeyError` (so the deprecated
+    dict-shaped registry views honour the Mapping contract).  Carries the
+    registry ``kind``, the failing ``name``, the nearest known entry as a
+    ``suggestion`` (difflib; ``None`` when nothing is close), and the tuple
+    of ``known`` canonical names.
+    """
+
+    # KeyError.__str__ would repr-quote the message; keep the plain text.
+    __str__ = Exception.__str__
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "",
+        name: str = "",
+        suggestion: str | None = None,
+        known: tuple[str, ...] = (),
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.suggestion = suggestion
+        self.known = known
 
 
 class SketchFailure(ReproError):

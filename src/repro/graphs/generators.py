@@ -24,8 +24,9 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
-from repro.errors import GraphError, InvalidVertexError
+from repro.errors import GraphError, InvalidVertexError, ProtocolError
 from repro.graphs.labeled import LabeledGraph
+from repro.registry import register
 
 __all__ = [
     "path_graph",
@@ -421,3 +422,111 @@ def disjoint_union(*graphs: LabeledGraph) -> LabeledGraph:
             out.add_edge(u + offset, v + offset)
         offset += g.n
     return out
+
+
+# --------------------------------------------------------------------- #
+# registered family builders
+#
+# The engine's graph-family registry entries.  Every builder takes the
+# engine context ``(n, seed)`` first and the family's tunable parameters
+# as keywords, and must produce exactly n vertices (or raise GraphError /
+# ProtocolError for unsatisfiable sizes, which campaigns record as run
+# errors rather than crashing).  This module *owns* these registrations —
+# the engine resolves families purely by name through repro.registry.
+# --------------------------------------------------------------------- #
+
+
+@register("path", kind="graph_family", capabilities=("deterministic",),
+          summary="Path P_n (degeneracy 1).")
+def _family_path(n: int, seed: int) -> LabeledGraph:
+    return path_graph(n)
+
+
+@register("cycle", kind="graph_family", capabilities=("deterministic",),
+          summary="Cycle C_n (degeneracy 2).")
+def _family_cycle(n: int, seed: int) -> LabeledGraph:
+    return cycle_graph(n)
+
+
+@register("star", kind="graph_family", capabilities=("deterministic",),
+          summary="Star K_{1,n-1}: one hub of degree n-1.")
+def _family_star(n: int, seed: int) -> LabeledGraph:
+    return star_graph(n)
+
+
+@register("grid", kind="graph_family", capabilities=("deterministic", "planar"),
+          summary="2-D grid on exactly n vertices (squarest factorization).")
+def _family_grid(n: int, seed: int) -> LabeledGraph:
+    # Squarest factorization with exactly n vertices (worst case 1 x n).
+    if n < 1:
+        raise ProtocolError(f"grid family needs size >= 1, got {n}")
+    rows = next(d for d in range(int(n**0.5), 0, -1) if n % d == 0)
+    return grid_2d(rows, n // rows)
+
+
+@register("hypercube", kind="graph_family", capabilities=("deterministic",),
+          summary="Hypercube Q_d; size must be a power of two >= 2.")
+def _family_hypercube(n: int, seed: int) -> LabeledGraph:
+    dim = max(0, n.bit_length() - 1)
+    if n < 2 or (1 << dim) != n:
+        raise ProtocolError(
+            f"hypercube family needs a power-of-two size >= 2, got {n}"
+        )
+    return hypercube(dim)
+
+
+@register("random_tree", kind="graph_family",
+          capabilities=("random", "forest"),
+          summary="Uniform random labelled tree (Prüfer sequence).")
+def _family_random_tree(n: int, seed: int) -> LabeledGraph:
+    return random_tree(n, seed=seed)
+
+
+@register("random_forest", kind="graph_family",
+          capabilities=("random", "forest"),
+          summary="Random labelled forest (default n//20 trees).")
+def _family_random_forest(n: int, seed: int, n_trees: int | None = None) -> LabeledGraph:
+    return random_forest(n, n_trees if n_trees is not None else max(1, n // 20), seed=seed)
+
+
+@register("two_components", kind="graph_family",
+          capabilities=("random", "forest", "disconnected"),
+          summary="Two random trees, disjoint — the canonical disconnected input.")
+def _family_two_components(n: int, seed: int) -> LabeledGraph:
+    a = n // 2
+    return disjoint_union(random_tree(a, seed=seed), random_tree(n - a, seed=seed + 1))
+
+
+@register("erdos_renyi", kind="graph_family", aliases=("gnp",),
+          capabilities=("random",),
+          summary="Erdős–Rényi G(n, p).")
+def _family_erdos_renyi(n: int, seed: int, p: float = 0.1) -> LabeledGraph:
+    return erdos_renyi(n, p, seed=seed)
+
+
+@register("random_bipartite", kind="graph_family",
+          capabilities=("random", "bipartite"),
+          summary="Random bipartite graph with parts n//2 and n - n//2.")
+def _family_random_bipartite(n: int, seed: int, p: float = 0.3) -> LabeledGraph:
+    return random_bipartite(n // 2, n - n // 2, p, seed=seed)
+
+
+@register("random_k_degenerate", kind="graph_family",
+          capabilities=("random", "bounded_degeneracy"),
+          summary="Random k-degenerate graph built from an elimination order.")
+def _family_k_degenerate(n: int, seed: int, k: int = 2) -> LabeledGraph:
+    return random_k_degenerate(n, k, seed=seed)
+
+
+@register("random_planar", kind="graph_family",
+          capabilities=("random", "planar", "bounded_degeneracy"),
+          summary="Thinned Apollonian triangulation (planar, degeneracy <= 5).")
+def _family_planar(n: int, seed: int, keep_prob: float = 0.8) -> LabeledGraph:
+    return random_planar(n, keep_prob, seed=seed)
+
+
+@register("apollonian", kind="graph_family",
+          capabilities=("random", "planar", "bounded_degeneracy"),
+          summary="Apollonian planar triangulation (3-degenerate).")
+def _family_apollonian(n: int, seed: int) -> LabeledGraph:
+    return apollonian(n, seed=seed)

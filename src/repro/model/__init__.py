@@ -31,7 +31,7 @@ from repro.model.protocol import (
     DecisionProtocol,
     ReconstructionProtocol,
 )
-from repro.model.referee import Referee, RunReport
+from repro.model.referee import Referee, RunReport, monotonic_clock
 from repro.model.frugality import FrugalityAuditor, FrugalityReport, log2_ceil
 from repro.model.multiround import MultiRoundProtocol, MultiRoundReferee, MultiRoundReport
 
@@ -41,6 +41,7 @@ __all__ = [
     "DecisionProtocol",
     "ReconstructionProtocol",
     "Referee",
+    "monotonic_clock",
     "RunReport",
     "FrugalityAuditor",
     "FrugalityReport",

@@ -25,7 +25,15 @@ if TYPE_CHECKING:  # deferred: repro.engine imports this module
     from repro.engine.executor import Executor
     from repro.engine.faults import FaultCounters, FaultInjector, FaultSpec
 
-__all__ = ["Referee", "RunReport"]
+__all__ = ["Referee", "RunReport", "monotonic_clock"]
+
+#: The one clock behind every timing field the library records
+#: (:class:`RunReport` phase times, engine wall-clock fields).  Monotonic
+#: by construction — ``time.perf_counter`` never goes backwards under NTP
+#: slews or DST, unlike ``time.time`` — and threaded through
+#: :mod:`repro.engine.scenario` / :mod:`repro.engine.campaign` so every
+#: ``*_seconds`` in a record is measured on the same timebase.
+monotonic_clock = time.perf_counter
 
 
 @dataclass(frozen=True)
@@ -118,7 +126,7 @@ class Referee:
 
     def run(self, protocol: OneRoundProtocol, g: LabeledGraph) -> RunReport:
         """Execute one full round of ``protocol`` on ``g``."""
-        t0 = time.perf_counter()
+        t0 = monotonic_clock()
         tagged: list[tuple[int, Message]] = []
         if self.executor is None:
             for i in g.vertices():
@@ -129,7 +137,7 @@ class Referee:
             tagged = self.executor.map_local(protocol, g)
             for i, msg in tagged:
                 self._check_budget(protocol, i, msg)
-        t1 = time.perf_counter()
+        t1 = monotonic_clock()
 
         fault_counters = None
         injector = self._make_injector()
@@ -142,9 +150,9 @@ class Referee:
             tagged.sort(key=lambda pair: pair[0])  # ...re-indexed by ID
 
         messages = [m for _, m in tagged]
-        t2 = time.perf_counter()
+        t2 = monotonic_clock()
         output = protocol.global_(g.n, messages)
-        t3 = time.perf_counter()
+        t3 = monotonic_clock()
 
         bits = tuple(m.bits for m in messages)
         return RunReport(

@@ -22,6 +22,7 @@ from repro.errors import DecodeError, GraphError
 from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import ReconstructionProtocol
+from repro.registry import register
 
 __all__ = ["BoundedDegreeProtocol"]
 
@@ -86,3 +87,12 @@ class BoundedDegreeProtocol(ReconstructionProtocol):
                 if i < v:
                     g.add_edge(i, v)
         return g
+
+
+
+@register("bounded_degree", kind="protocol",
+          capabilities=("reconstruction", "deterministic"),
+          summary="Footnote 1 baseline: bounded-degree nodes send their whole "
+                  "neighbourhood.")
+def _build_bounded_degree(n: int, max_degree: int = 3) -> "BoundedDegreeProtocol":
+    return BoundedDegreeProtocol(max_degree)

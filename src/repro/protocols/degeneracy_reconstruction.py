@@ -34,6 +34,7 @@ from repro.protocols.powersum import (
     decode_powersum_message,
     encode_powersum_message,
 )
+from repro.registry import register
 
 __all__ = ["DegeneracyReconstructionProtocol", "DegeneracyRecognitionProtocol", "prune_decode"]
 
@@ -165,3 +166,12 @@ class DegeneracyRecognitionProtocol(DecisionProtocol):
         except RecognitionFailure:
             return False
         return True
+
+
+
+@register("degeneracy", kind="protocol",
+          capabilities=("reconstruction", "deterministic", "frugal"),
+          summary="Algorithm 4: power-sum reconstruction of degeneracy-<=k graphs "
+                  "(Theorem 5).")
+def _build_degeneracy(n: int, k: int = 2, decoder: str = "newton") -> "DegeneracyReconstructionProtocol":
+    return DegeneracyReconstructionProtocol(k, decoder=decoder)

@@ -27,6 +27,7 @@ from repro.errors import DecodeError, RecognitionFailure
 from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import DecisionProtocol, ReconstructionProtocol
+from repro.registry import register
 
 __all__ = ["ForestReconstructionProtocol", "ForestRecognitionProtocol"]
 
@@ -107,3 +108,12 @@ class ForestRecognitionProtocol(DecisionProtocol):
         except RecognitionFailure:
             return False
         return True
+
+
+
+@register("forest", kind="protocol",
+          capabilities=("reconstruction", "deterministic", "frugal"),
+          summary="Section III.A: forest reconstruction from (id, degree, "
+                  "neighbour-sum) triples.")
+def _build_forest(n: int) -> "ForestReconstructionProtocol":
+    return ForestReconstructionProtocol()

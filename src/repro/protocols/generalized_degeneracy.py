@@ -27,6 +27,7 @@ from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import ReconstructionProtocol
 from repro.protocols.powersum import compute_power_sums, decode_neighborhood_newton
+from repro.registry import register
 
 __all__ = ["GeneralizedDegeneracyProtocol", "generalized_degeneracy"]
 
@@ -160,3 +161,12 @@ class GeneralizedDegeneracyProtocol(ReconstructionProtocol):
                     h.add_edge(x, v)
                     state[v] = (d_v - 1, b_v, bc_v)
         return h
+
+
+
+@register("generalized_degeneracy", kind="protocol",
+          capabilities=("reconstruction", "deterministic"),
+          summary="Section III.E: reconstruction pruning on the graph or its "
+                  "complement.")
+def _build_generalized_degeneracy(n: int, k: int = 1) -> "GeneralizedDegeneracyProtocol":
+    return GeneralizedDegeneracyProtocol(k)

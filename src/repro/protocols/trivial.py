@@ -21,6 +21,7 @@ from repro.bits.writer import BitWriter
 from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import OneRoundProtocol, ReconstructionProtocol
+from repro.registry import register
 
 __all__ = ["EmptyProtocol", "IdEchoProtocol", "DegreeProtocol", "FullAdjacencyProtocol"]
 
@@ -98,3 +99,11 @@ class FullAdjacencyProtocol(ReconstructionProtocol):
                 if mask >> (v - 1) & 1 and v != i:
                     g.add_edge(i, v)
         return g
+
+
+
+@register("full_adjacency", kind="protocol",
+          capabilities=("reconstruction", "deterministic", "baseline"),
+          summary="Non-frugal baseline: every node sends its full adjacency row.")
+def _build_full_adjacency(n: int) -> "FullAdjacencyProtocol":
+    return FullAdjacencyProtocol()

@@ -1,0 +1,84 @@
+"""Deprecated dict-shaped views of the registries.
+
+Before the registry subsystem, the pluggable maps were module-level dict
+literals: ``repro.engine.scenario.GRAPH_FAMILIES`` / ``PROTOCOL_BUILDERS``,
+``repro.analysis.experiments.EXPERIMENTS``, and
+``repro.engine.campaign.BUILTIN_CAMPAIGNS``.  Those names still resolve —
+each is now a read-only live :class:`~collections.abc.Mapping` over the
+corresponding :class:`~repro.registry.core.Registry` — but the first touch
+of each view emits a single :class:`DeprecationWarning`.  Mutation was
+never supported API and now raises ``TypeError`` (Mapping has no
+``__setitem__``).
+
+The views are handed out by module ``__getattr__`` hooks in the owning
+modules (PEP 562), so even ``from repro.engine import GRAPH_FAMILIES``
+triggers the warning while ``import repro`` stays silent.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable, Iterator, Mapping
+from typing import Any
+
+from repro.registry.core import Registry
+
+__all__ = ["DeprecatedRegistryView"]
+
+
+class DeprecatedRegistryView(Mapping):
+    """Read-only ``{name: factory}`` facade over a registry.
+
+    Warns ``DeprecationWarning`` once per view (not per access) on the
+    first operation, including the module-attribute access that imports it.
+    """
+
+    def __init__(self, registry: Registry, old_name: str, replacement: str) -> None:
+        self._registry = registry
+        self._old_name = old_name
+        self._replacement = replacement
+        self._warned = False
+
+    def _warn(self) -> None:
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"{self._old_name} is deprecated; use {self._replacement} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    def __getitem__(self, name: str) -> Callable[..., Any]:
+        self._warn()
+        # UnknownRegistryEntry subclasses KeyError: Mapping contract holds.
+        return self._registry.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        self._warn()
+        return len(self._registry)
+
+    def __contains__(self, name: object) -> bool:
+        self._warn()
+        return name in self._registry
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<deprecated view {self._old_name} of "
+                f"{self._registry.kind} registry>")
+
+
+def _reset_deprecation_warnings(*views: DeprecatedRegistryView) -> None:
+    """Re-arm the warn-once latches (test hook)."""
+    from repro import registry as _registry
+
+    targets = views or (
+        _registry.GRAPH_FAMILIES_VIEW,
+        _registry.PROTOCOL_BUILDERS_VIEW,
+        _registry.EXPERIMENTS_VIEW,
+        _registry.BUILTIN_CAMPAIGNS_VIEW,
+    )
+    for view in targets:
+        view._warned = False

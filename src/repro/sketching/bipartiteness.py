@@ -35,6 +35,7 @@ from repro.model.message import Message
 from repro.model.protocol import DecisionProtocol
 from repro.sketching.connectivity import _UnionFind, _unzigzag, _zigzag, edge_index, edge_pair
 from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
+from repro.registry import register
 
 __all__ = ["SketchBipartitenessProtocol", "BipartitenessReport", "double_cover_components"]
 
@@ -214,3 +215,12 @@ class SketchBipartitenessProtocol(DecisionProtocol):
             if not merged_any and failures == 0:
                 break
         return components
+
+
+
+@register("sketch_bipartiteness", kind="protocol",
+          capabilities=("decision", "sketching", "randomized"),
+          summary="Bipartiteness via double-cover connectivity sketches "
+                  "(randomized, one round).")
+def _build_sketch_bipartiteness(n: int, sketch_seed: int = 0) -> "SketchBipartitenessProtocol":
+    return SketchBipartitenessProtocol(seed=sketch_seed)

@@ -36,6 +36,7 @@ from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import DecisionProtocol
 from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
+from repro.registry import register
 
 __all__ = ["AGMConnectivityProtocol", "SketchReport", "sketch_spanning_forest", "edge_index", "edge_pair"]
 
@@ -248,3 +249,12 @@ def _zigzag(x: int) -> int:
 def _unzigzag(u: int) -> int:
     """Inverse of :func:`_zigzag`."""
     return (u >> 1) if (u & 1) == 0 else -((u + 1) >> 1)
+
+
+
+@register("agm_connectivity", kind="protocol",
+          capabilities=("decision", "sketching", "randomized"),
+          summary="AGM linear-sketch connectivity: one round, O(log^3 n) "
+                  "bits/node, one-sided error.")
+def _build_agm_connectivity(n: int, sketch_seed: int = 0) -> "AGMConnectivityProtocol":
+    return AGMConnectivityProtocol(seed=sketch_seed)

@@ -17,13 +17,29 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "EXP-T5" in out and "EXP-SKETCH" in out
-        assert "smoke" in out  # builtin campaigns are listed too
+        assert "smoke" in out            # builtin campaigns are listed too
+        assert "random_planar" in out    # so are graph families ...
+        assert "degeneracy" in out       # ... and protocols
 
-    def test_list_json(self, capsys):
+    def test_list_json_is_the_catalog(self, capsys):
         assert main(["list", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert any(e["id"] == "EXP-T5" for e in payload["experiments"])
-        assert "smoke" in payload["campaigns"]
+        catalog = json.loads(capsys.readouterr().out)
+        assert set(catalog) == {"campaign", "experiment", "graph_family", "protocol"}
+        assert "EXP-T5" in catalog["experiment"]
+        assert "smoke" in catalog["campaign"]
+        deg = catalog["protocol"]["degeneracy"]
+        assert "reconstruction" in deg["capabilities"]
+        assert "k" in deg["params"]
+
+    def test_list_json_is_byte_stable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["list", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_list_kind_filter(self, capsys):
+        assert main(["list", "--kind", "protocol", "--json"]) == 0
+        assert set(json.loads(capsys.readouterr().out)) == {"protocol"}
 
     def test_single_experiment(self, capsys):
         assert main(["EXP-DEGEN"]) == 0
@@ -101,6 +117,7 @@ class TestCli:
 
 @pytest.mark.parametrize("script", [
     "quickstart.py",
+    "session_quickstart.py",
     "datacenter_audit.py",
     "impossibility_tour.py",
     "connectivity_frontier.py",

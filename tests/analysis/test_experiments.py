@@ -7,8 +7,8 @@ any protocol shows up as a failed reproduction, not just a failed unit.
 
 import pytest
 
+from repro import registry
 from repro.analysis import (
-    EXPERIMENTS,
     exp_adversary,
     exp_connectivity_partition,
     exp_connectivity_sketch,
@@ -163,7 +163,7 @@ class TestExtensions:
 
 class TestRegistry:
     def test_all_ids_present(self):
-        assert set(EXPERIMENTS) == {
+        assert set(registry.EXPERIMENT.names()) == {
             "EXP-L1", "EXP-L2", "EXP-L3", "EXP-T5", "EXP-T1", "EXP-T2",
             "EXP-T3", "EXP-ADV", "EXP-FOREST", "EXP-GD", "EXP-CONN",
             "EXP-SKETCH", "EXP-DEGEN", "EXP-BIP", "EXP-ROUNDS", "EXP-COAL",

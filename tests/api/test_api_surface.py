@@ -1,0 +1,59 @@
+"""The api-surface gate: the live surface must match the frozen fixture.
+
+``repro.__all__`` and ``repro.registry.catalog()`` are diffed against
+``tests/api/fixtures/api_surface.json``.  An accidental export, a renamed
+registry entry, a changed parameter default — anything that moves the
+public surface — fails here until the fixture is regenerated on purpose::
+
+    PYTHONPATH=src python tools/update_api_surface.py
+"""
+
+import importlib.util
+import json
+import pathlib
+
+HERE = pathlib.Path(__file__).resolve().parent
+FIXTURE = HERE / "fixtures" / "api_surface.json"
+TOOL = HERE.parents[1] / "tools" / "update_api_surface.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("update_api_surface", TOOL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_fixture_exists_and_is_canonical_json():
+    surface = json.loads(FIXTURE.read_text())
+    assert set(surface) == {"catalog", "public_api"}
+    # the fixture itself must be in the tool's canonical rendering
+    assert FIXTURE.read_text() == json.dumps(surface, indent=2, sort_keys=True) + "\n"
+
+
+def test_public_api_snapshot():
+    """repro.__all__ is exactly the documented public API, in order."""
+    import repro
+
+    frozen = json.loads(FIXTURE.read_text())["public_api"]
+    assert list(repro.__all__) == frozen
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_registry_catalog_snapshot():
+    """Every registered name + its metadata matches the frozen catalog."""
+    import repro.registry
+
+    frozen = json.loads(FIXTURE.read_text())["catalog"]
+    live = repro.registry.catalog()
+    assert live == frozen, (
+        "registry catalog drifted; regenerate with "
+        "`PYTHONPATH=src python tools/update_api_surface.py` if intended"
+    )
+
+
+def test_update_tool_check_mode_agrees():
+    tool = _load_tool()
+    assert tool.render(tool.build_surface()) == FIXTURE.read_text()
+    assert tool.main(["--check"]) == 0

@@ -1,0 +1,121 @@
+"""The deprecated dict-shaped registry views keep working, warning once."""
+
+import importlib
+import warnings
+
+import pytest
+
+from repro import registry
+from repro.registry import compat
+
+
+@pytest.fixture(autouse=True)
+def rearm_warnings():
+    """Re-arm the warn-once latches so each test observes a fresh first touch."""
+    compat._reset_deprecation_warnings()
+    yield
+    compat._reset_deprecation_warnings()
+
+
+def _silently(view_op):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return view_op()
+
+
+def _import_silently(module: str, name: str):
+    """Fetch a deprecated view without tripping -W error::DeprecationWarning."""
+    return _silently(lambda: getattr(importlib.import_module(module), name))
+
+
+class TestImportWarns:
+    def test_scenario_graph_families(self):
+        with pytest.warns(DeprecationWarning, match="GRAPH_FAMILIES is deprecated"):
+            from repro.engine.scenario import GRAPH_FAMILIES  # noqa: F401
+
+    def test_scenario_protocol_builders(self):
+        with pytest.warns(DeprecationWarning, match="PROTOCOL_BUILDERS is deprecated"):
+            from repro.engine.scenario import PROTOCOL_BUILDERS  # noqa: F401
+
+    def test_engine_package_reexports(self):
+        with pytest.warns(DeprecationWarning, match="GRAPH_FAMILIES is deprecated"):
+            from repro.engine import GRAPH_FAMILIES  # noqa: F401
+
+    def test_campaign_builtins(self):
+        with pytest.warns(DeprecationWarning, match="BUILTIN_CAMPAIGNS is deprecated"):
+            from repro.engine.campaign import BUILTIN_CAMPAIGNS  # noqa: F401
+
+    def test_experiments(self):
+        with pytest.warns(DeprecationWarning, match="EXPERIMENTS is deprecated"):
+            from repro.analysis import EXPERIMENTS  # noqa: F401
+
+
+class TestWarnsExactlyOnce:
+    def test_repeated_use_warns_once(self):
+        from repro.engine import scenario
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            view = scenario.PROTOCOL_BUILDERS          # first touch: warns
+            _ = view["forest"]                         # already warned
+            _ = sorted(view)                           # already warned
+            _ = scenario.PROTOCOL_BUILDERS["degeneracy"]
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+
+
+class TestOldNamesResolve:
+    def test_protocol_builders_resolve_to_registry_factories(self):
+        PROTOCOL_BUILDERS = _import_silently("repro.engine.scenario", "PROTOCOL_BUILDERS")
+
+        assert _silently(lambda: set(PROTOCOL_BUILDERS)) == \
+            set(registry.PROTOCOL.names())
+        for name in registry.PROTOCOL.names():
+            assert _silently(lambda: PROTOCOL_BUILDERS[name]) is \
+                registry.PROTOCOL.get(name)
+        protocol = _silently(lambda: PROTOCOL_BUILDERS["forest"])(8)
+        assert hasattr(protocol, "local") and hasattr(protocol, "global_")
+
+    def test_graph_families_build_graphs(self):
+        GRAPH_FAMILIES = _import_silently("repro.engine", "GRAPH_FAMILIES")
+
+        g = _silently(lambda: GRAPH_FAMILIES["random_planar"])(16, 1)
+        assert g.n == 16
+
+    def test_builtin_campaigns_and_experiments(self):
+        EXPERIMENTS = _import_silently("repro.analysis", "EXPERIMENTS")
+        BUILTIN_CAMPAIGNS = _import_silently("repro.engine", "BUILTIN_CAMPAIGNS")
+
+        assert _silently(lambda: set(BUILTIN_CAMPAIGNS)) == \
+            set(registry.CAMPAIGN.names())
+        assert _silently(lambda: set(EXPERIMENTS)) == \
+            set(registry.EXPERIMENT.names())
+        title, headers, rows = _silently(lambda: EXPERIMENTS["EXP-DEGEN"])()
+        assert headers and rows
+
+    def test_missing_key_is_keyerror_with_suggestion(self):
+        PROTOCOL_BUILDERS = _import_silently("repro.engine.scenario", "PROTOCOL_BUILDERS")
+
+        with pytest.raises(KeyError, match="did you mean 'degeneracy'"):
+            _silently(lambda: PROTOCOL_BUILDERS["degenracy"])
+
+
+class TestReadOnly:
+    def test_views_reject_mutation(self):
+        GRAPH_FAMILIES = _import_silently("repro.engine.scenario", "GRAPH_FAMILIES")
+        PROTOCOL_BUILDERS = _import_silently("repro.engine.scenario", "PROTOCOL_BUILDERS")
+
+        for view in (GRAPH_FAMILIES, PROTOCOL_BUILDERS):
+            with pytest.raises(TypeError):
+                view["sneaky"] = lambda n, seed: None
+            with pytest.raises((TypeError, AttributeError)):
+                view.pop("forest")
+
+    def test_unknown_module_attribute_still_raises(self):
+        import repro.analysis
+        import repro.engine
+        import repro.engine.scenario
+
+        for mod in (repro.engine, repro.engine.scenario, repro.analysis):
+            with pytest.raises(AttributeError):
+                mod.DEFINITELY_NOT_AN_ATTRIBUTE

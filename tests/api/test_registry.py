@@ -1,0 +1,218 @@
+"""The registry core: registration, aliases, suggestions, lazy loading."""
+
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro import registry
+from repro.errors import ProtocolError, RegistryError, UnknownRegistryEntry
+from repro.registry import Registry
+
+
+def _fresh() -> Registry:
+    reg = Registry("widget", label="widget", context_params=1)
+
+    @reg.register("alpha", capabilities=("fast",), aliases=("a",),
+                  deprecated_aliases=("old_alpha",))
+    def _alpha(n, size: int = 3):
+        """Builds an alpha."""
+        return ("alpha", n, size)
+
+    @reg.register("beta", summary="explicit summary wins")
+    def _beta(n, **anything):
+        """Docstring summary (unused)."""
+        return ("beta", n, anything)
+
+    return reg
+
+
+class TestRegistration:
+    def test_get_build_and_metadata(self):
+        reg = _fresh()
+        assert reg.build("alpha", 8) == ("alpha", 8, 3)
+        entry = reg.entry("alpha")
+        assert entry.summary == "Builds an alpha."
+        assert entry.capabilities == ("fast",)
+        # context param (n) is excluded from the tunable-param schema
+        assert dict(entry.params) == {"size": "int = 3"}
+        assert reg.entry("beta").summary == "explicit summary wins"
+
+    def test_duplicate_name_rejected(self):
+        reg = _fresh()
+        with pytest.raises(RegistryError, match="duplicate"):
+            reg.register("alpha")(lambda n: None)
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        reg = Registry("widget")
+
+        def factory():
+            return 1
+
+        reg.register("x")(factory)
+        reg.register("x")(factory)  # module re-exec: no error
+        assert len(reg) == 1
+
+    def test_alias_collisions_rejected(self):
+        reg = _fresh()
+        with pytest.raises(RegistryError, match="alias"):
+            reg.register("gamma", aliases=("a",))(lambda n: None)
+        with pytest.raises(RegistryError, match="shadows"):
+            reg.register("delta", aliases=("beta",))(lambda n: None)
+
+    def test_canonical_name_cannot_steal_an_alias(self):
+        reg = _fresh()
+        with pytest.raises(RegistryError, match="already an alias"):
+            reg.register("a")(lambda n: None)
+        assert reg.resolve("a") == "alpha"  # alias still intact
+
+    def test_rejected_registration_leaves_no_partial_state(self):
+        reg = _fresh()
+        with pytest.raises(RegistryError):
+            reg.register("gamma", aliases=("fresh", "a"))(lambda n: None)
+        assert "gamma" not in reg       # entry not half-installed
+        assert "fresh" not in reg       # earlier alias rolled back too
+        assert list(reg) == ["alpha", "beta"]
+
+    def test_membership_len_iter(self):
+        reg = _fresh()
+        assert "alpha" in reg and "a" in reg and "nope" not in reg
+        assert len(reg) == 2
+        assert list(reg) == ["alpha", "beta"]
+
+
+class TestAliases:
+    def test_plain_alias_resolves_silently(self):
+        reg = _fresh()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert reg.resolve("a") == "alpha"
+            assert reg.get("a") is reg.get("alpha")
+
+    def test_deprecated_alias_warns_once_and_resolves(self):
+        reg = _fresh()
+        with pytest.warns(DeprecationWarning, match="'old_alpha' is deprecated"):
+            assert reg.resolve("old_alpha") == "alpha"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert reg.resolve("old_alpha") == "alpha"  # second use: silent
+
+
+class TestUnknown:
+    def test_suggestion_and_payload(self):
+        reg = _fresh()
+        with pytest.raises(UnknownRegistryEntry, match="did you mean 'alpha'") as exc:
+            reg.get("alpa")
+        assert exc.value.kind == "widget"
+        assert exc.value.name == "alpa"
+        assert exc.value.suggestion == "alpha"
+        assert exc.value.known == ("alpha", "beta")
+
+    def test_no_close_match_lists_known(self):
+        reg = _fresh()
+        with pytest.raises(UnknownRegistryEntry) as exc:
+            reg.get("zzzzzz")
+        assert exc.value.suggestion is None
+        assert "did you mean" not in str(exc.value)
+        assert "known: alpha, beta" in str(exc.value)
+
+    def test_is_both_protocol_error_and_key_error(self):
+        reg = _fresh()
+        with pytest.raises(ProtocolError):
+            reg.get("nope")
+        with pytest.raises(KeyError):
+            reg.get("nope")
+
+
+class TestParamValidation:
+    def test_unknown_param_rejected_with_accepted_list(self):
+        reg = _fresh()
+        with pytest.raises(RegistryError, match="unknown parameter.*'sise'.*size"):
+            reg.validate_params("alpha", {"sise": 4})
+
+    def test_var_keyword_factory_accepts_anything(self):
+        reg = _fresh()
+        reg.validate_params("beta", {"whatever": 1})  # **anything: no error
+
+
+class TestLazyLoading:
+    def test_modules_import_on_first_use_only(self, tmp_path, monkeypatch):
+        probe = tmp_path / "lazy_probe_mod.py"
+        probe.write_text(
+            "import builtins\n"
+            "builtins._lazy_probe_count = getattr(builtins, '_lazy_probe_count', 0) + 1\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        import builtins
+        monkeypatch.delattr(builtins, "_lazy_probe_count", raising=False)
+
+        reg = Registry("widget", modules=("lazy_probe_mod",))
+        assert not hasattr(builtins, "_lazy_probe_count")  # nothing imported yet
+        reg.names()
+        assert builtins._lazy_probe_count == 1
+        reg.names()
+        assert builtins._lazy_probe_count == 1  # loaded once
+        sys.modules.pop("lazy_probe_mod", None)
+        monkeypatch.delattr(builtins, "_lazy_probe_count", raising=False)
+
+    def test_import_repro_registry_stays_cheap(self):
+        """`import repro.registry` must not drag in protocol/analysis modules."""
+        code = (
+            "import sys, repro.registry\n"
+            "heavy = [m for m in ('repro.protocols.degeneracy_reconstruction',"
+            " 'repro.analysis.experiments', 'repro.sketching.connectivity')"
+            " if m in sys.modules]\n"
+            "assert not heavy, heavy\n"
+            "repro.registry.PROTOCOL.names()\n"
+            "assert 'repro.protocols.degeneracy_reconstruction' in sys.modules\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+
+class TestGlobalRegistries:
+    def test_catalog_covers_all_kinds_sorted(self):
+        catalog = registry.catalog()
+        assert list(catalog) == ["campaign", "experiment", "graph_family", "protocol"]
+        for entries in catalog.values():
+            assert list(entries) == sorted(entries)
+            for meta in entries.values():
+                assert set(meta) == {"aliases", "capabilities", "deprecated_aliases",
+                                     "kind", "module", "params", "summary"}
+
+    def test_registrations_live_in_their_own_modules(self):
+        """Protocols/families register where they are implemented."""
+        assert registry.PROTOCOL.entry("degeneracy").module == \
+            "repro.protocols.degeneracy_reconstruction"
+        assert registry.PROTOCOL.entry("agm_connectivity").module == \
+            "repro.sketching.connectivity"
+        assert registry.GRAPH_FAMILY.entry("random_planar").module == \
+            "repro.graphs.generators"
+        assert registry.EXPERIMENT.entry("EXP-T5").module == \
+            "repro.analysis.experiments"
+        assert registry.CAMPAIGN.entry("smoke").module == "repro.engine.campaign"
+
+    def test_capability_metadata(self):
+        deg = registry.PROTOCOL.entry("degeneracy")
+        assert "reconstruction" in deg.capabilities
+        agm = registry.PROTOCOL.entry("agm_connectivity")
+        assert {"decision", "sketching", "randomized"} <= set(agm.capabilities)
+
+    def test_registry_for_unknown_kind(self):
+        with pytest.raises(RegistryError, match="unknown registry kind"):
+            registry.registry_for("flavour")
+
+    def test_scenario_unknown_names_suggest(self):
+        from repro.engine import Scenario
+
+        with pytest.raises(UnknownRegistryEntry, match="did you mean 'degeneracy'"):
+            Scenario(name="s", family="path", sizes=(8,), protocol="degenracy")
+        with pytest.raises(UnknownRegistryEntry, match="did you mean 'random_planar'"):
+            Scenario(name="s", family="random_plana", sizes=(8,), protocol="forest")
+
+    def test_scenario_canonicalizes_aliases(self):
+        from repro.engine import Scenario
+
+        spec = next(Scenario(name="s", family="gnp", sizes=(8,),
+                             protocol="full_adjacency").expand())
+        assert spec.family == "erdos_renyi"

@@ -14,7 +14,7 @@ from repro.engine import (
     builtin_campaign,
     load_campaign,
 )
-from repro.engine.campaign import BUILTIN_CAMPAIGNS
+from repro import registry
 from repro.errors import ProtocolError
 
 
@@ -149,7 +149,7 @@ class TestDeterminism:
 
 class TestLoading:
     def test_builtin_names_all_instantiate(self, tmp_path):
-        for name in BUILTIN_CAMPAIGNS:
+        for name in registry.CAMPAIGN.names():
             campaign = builtin_campaign(name, results_dir=tmp_path)
             assert campaign.specs(), name
 

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.engine.faults import FaultSpec
+from repro import registry
 from repro.engine.scenario import (
-    GRAPH_FAMILIES,
-    PROTOCOL_BUILDERS,
     RunRecord,
     RunSpec,
     Scenario,
@@ -65,21 +64,21 @@ class TestScenario:
             Scenario.from_dict({"name": "x", "family": "path", "sizes": [4]})
 
     def test_every_registry_entry_builds(self):
-        for family in GRAPH_FAMILIES:
-            g = GRAPH_FAMILIES[family](8, 0)
+        for family in registry.GRAPH_FAMILY.names():
+            g = registry.GRAPH_FAMILY.build(family, 8, 0)
             assert isinstance(g, LabeledGraph)
             assert g.n == 8, f"family {family} built {g.n} vertices for size 8"
-        for protocol in PROTOCOL_BUILDERS:
-            p = PROTOCOL_BUILDERS[protocol](8)
+        for protocol in registry.PROTOCOL.names():
+            p = registry.PROTOCOL.build(protocol, 8)
             assert hasattr(p, "local") and hasattr(p, "global_")
 
     def test_grid_exact_sizes_including_primes(self):
         for n in (1, 7, 12, 13, 16):
-            assert GRAPH_FAMILIES["grid"](n, 0).n == n
+            assert registry.GRAPH_FAMILY.build("grid", n, 0).n == n
 
     def test_hypercube_rejects_non_power_of_two(self):
         with pytest.raises(ProtocolError, match="power-of-two"):
-            GRAPH_FAMILIES["hypercube"](100, 0)
+            registry.GRAPH_FAMILY.build("hypercube", 100, 0)
 
     def test_unsatisfiable_size_recorded_not_raised(self):
         spec = next(

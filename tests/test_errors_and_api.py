@@ -14,8 +14,10 @@ from repro.errors import (
     NotInFamilyError,
     ProtocolError,
     RecognitionFailure,
+    RegistryError,
     ReproError,
     SketchFailure,
+    UnknownRegistryEntry,
 )
 
 
@@ -24,6 +26,7 @@ class TestHierarchy:
         BitstreamError, CodecError, GraphError, ProtocolError, SketchFailure,
         BitstreamUnderflow, InvalidVertexError, NotInFamilyError,
         FrugalityViolation, DecodeError, RecognitionFailure,
+        RegistryError, UnknownRegistryEntry,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -35,6 +38,10 @@ class TestHierarchy:
         assert issubclass(FrugalityViolation, ProtocolError)
         assert issubclass(DecodeError, ProtocolError)
         assert issubclass(RecognitionFailure, DecodeError)
+        assert issubclass(RegistryError, ProtocolError)
+        assert issubclass(UnknownRegistryEntry, ProtocolError)
+        # the Mapping-contract half: deprecated dict views can raise it as KeyError
+        assert issubclass(UnknownRegistryEntry, KeyError)
 
     def test_frugality_violation_payload(self):
         e = FrugalityViolation("too big", vertex=3, bits=99, budget=10)
@@ -53,7 +60,7 @@ class TestHierarchy:
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:

@@ -89,7 +89,8 @@ def test_referee_reports_are_consistent(name):
 # shuffled delivery (the referee indexes messages by ID, Definition 1).
 # --------------------------------------------------------------------- #
 
-from repro.engine import PROTOCOL_BUILDERS, Scenario, execute_run  # noqa: E402
+from repro import registry  # noqa: E402
+from repro.engine import Scenario, execute_run  # noqa: E402
 
 #: protocol -> (family, family_params, protocol_params) giving a valid
 #: small-graph input for that protocol.
@@ -105,8 +106,8 @@ SHUFFLE_GRID = {
 
 
 def test_shuffle_grid_covers_every_registered_protocol():
-    """A new PROTOCOL_BUILDERS entry must be added to the matrix."""
-    assert set(SHUFFLE_GRID) == set(PROTOCOL_BUILDERS)
+    """A new protocol-registry entry must be added to the matrix."""
+    assert set(SHUFFLE_GRID) == set(registry.PROTOCOL.names())
 
 
 @pytest.mark.parametrize("n", (12, 16))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate (or --check) the frozen public-API-surface fixture.
+
+The fixture ``tests/api/fixtures/api_surface.json`` pins two things:
+
+* ``public_api`` — ``repro.__all__``, in order (the documented import
+  surface);
+* ``catalog`` — ``repro.registry.catalog()``: every registered graph
+  family, protocol, experiment, and builtin campaign with its
+  capabilities, parameter schema, aliases, and owning module.
+
+``tests/api/test_api_surface.py`` (and the CI ``api-surface`` job) diff
+the live surface against this file, so any API change is an explicit,
+reviewed edit:
+
+    PYTHONPATH=src python tools/update_api_surface.py          # rewrite
+    PYTHONPATH=src python tools/update_api_surface.py --check  # exit 1 on drift
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+FIXTURE = (pathlib.Path(__file__).resolve().parents[1]
+           / "tests" / "api" / "fixtures" / "api_surface.json")
+
+
+def build_surface() -> dict:
+    import repro
+    import repro.registry
+
+    return {
+        "public_api": list(repro.__all__),
+        "catalog": repro.registry.catalog(),
+    }
+
+
+def render(surface: dict) -> str:
+    return json.dumps(surface, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    text = render(build_surface())
+    if "--check" in argv:
+        on_disk = FIXTURE.read_text() if FIXTURE.exists() else ""
+        if on_disk != text:
+            sys.stderr.write(
+                "api surface drifted from tests/api/fixtures/api_surface.json;\n"
+                "run: PYTHONPATH=src python tools/update_api_surface.py\n"
+            )
+            return 1
+        print(f"api surface matches {FIXTURE}")
+        return 0
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(text)
+    print(f"wrote {FIXTURE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
