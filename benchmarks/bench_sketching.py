@@ -1,0 +1,53 @@
+"""EXP-BENCH — the sketching/bits hot-path optimization, measured.
+
+Runs the paired builtin benchmarks (optimized vs pre-optimization naive
+reference on identical splitmix-derived inputs) through the
+:mod:`repro.bench` harness and writes the speedup table.
+
+Two checks ride along:
+
+* **parity** — every optimized/naive pair reports the same deterministic
+  digest (the optimization changed how fast, never what);
+* **speedup** — the L0 sampler update loop, the headline hot path, must
+  beat its pre-optimization reference by >= 1.5x (the PR's acceptance
+  bound; measured ~1.8x at introduction), and the single-pass bit packer
+  must beat per-field writes by >= 1.2x.
+
+These floors are deliberately above the lenient regression tripwires in
+``benchmarks/baselines/bench.json`` (``min_speedup``: 1.25/1.5): the
+baseline gate guards every push cheaply, while this experiment documents
+the acceptance bound itself with min-of-5 timing.
+"""
+
+from repro.analysis import format_table
+from repro.bench import run_suite
+
+PAIRS = ("l0-update", "bits-pack", "derive-params")
+
+
+def test_hot_path_speedup(write_result):
+    names = [n for pair in PAIRS for n in (pair, f"{pair}-naive")]
+    report = run_suite(names, repeats=5)
+
+    rows = []
+    for name in names:
+        entry = report["results"][name]
+        rows.append([name, entry["ops"], entry["wall_seconds"]["min"],
+                     report["speedups"].get(name, "")])
+    title = ("EXP-BENCH  sketching/bits hot paths: optimized vs "
+             "pre-optimization reference (min of 5 repeats)")
+    write_result("EXP-BENCH",
+                 format_table(title, ["benchmark", "ops", "min s", "speedup"], rows))
+
+    for pair in PAIRS:
+        assert report["results"][pair]["digest"] == \
+            report["results"][f"{pair}-naive"]["digest"], \
+            f"{pair}: optimized path diverged from the reference (parity broken)"
+
+    assert report["speedups"]["l0-update"] >= 1.5, (
+        f"l0-update speedup {report['speedups']['l0-update']}x fell below "
+        "the 1.5x acceptance bound"
+    )
+    assert report["speedups"]["bits-pack"] >= 1.2, (
+        f"bits-pack speedup {report['speedups']['bits-pack']}x fell below 1.2x"
+    )

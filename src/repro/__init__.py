@@ -30,7 +30,12 @@ from scratch, everything the paper builds on it:
   ``repro.registry.catalog()`` / ``python -m repro list``;
 * the **fluent API** (:mod:`repro.api`): ``Session`` chains the whole
   pipeline (graphs → protocol → faults → executor → run → aggregate →
-  gate) and produces records identical to hand-wired campaigns.
+  gate) and produces records identical to hand-wired campaigns;
+* the **benchmark harness** (:mod:`repro.bench`): declaratively registered
+  benchmarks (``kind="benchmark"``), one timing/RSS harness with stable
+  JSON reports (``python -m repro bench`` → ``BENCH_PR4.json``), and
+  regression gating against frozen bench baselines with
+  optimized-vs-naive speedup floors.
 
 Quickstart (the fluent pipeline)::
 
@@ -62,7 +67,7 @@ campaign quickstart.
 import importlib
 from typing import Any
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Lazy export map (PEP 562): public name -> defining module.  `import
 #: repro` stays cheap — protocols, engine, sketching, and the analysis

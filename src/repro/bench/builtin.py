@@ -1,0 +1,273 @@
+"""The builtin benchmark suite: sketching/bits hot paths + Session campaigns.
+
+Each benchmark is a registered factory ``(scale: float = 1.0) -> BenchCase``:
+inputs are built at factory time (off the clock) from deterministic
+:func:`~repro.sketching.field.splitmix64` chains — never the global
+``random`` module — so ``ops`` / ``bits`` / ``digest`` are pure functions
+of ``scale`` and the frozen bench baseline pins them on any machine.
+
+Two kinds of case live here:
+
+* **micro** — the tight loops the hot-path work targets (L0 sampler
+  updates, parameter derivation, bit packing).  Each has a ``-naive``
+  twin running the pre-optimization reference implementation on the same
+  inputs; the harness reports ``speedups[<name>]`` and the bench baseline
+  declares floors for them.  The twins double as parity witnesses: both
+  members of a pair must produce the same ``digest``.
+* **campaign** — real end-to-end loads driven through
+  :class:`repro.api.Session`, digesting the run records (spec content
+  hashes + output digests), so a hot-path change that altered *what* a
+  protocol computes fails the gate even if every microbench still agrees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.bench.harness import BenchCase
+from repro.bits.writer import BitWriter
+from repro.registry import register
+from repro.sketching.connectivity import sketch_spanning_forest
+from repro.sketching.field import (
+    MERSENNE61,
+    derive_params,
+    derive_params_block,
+    fadd,
+    fmul,
+    fpow,
+    splitmix64,
+)
+from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
+
+_SEED = 0xBEC4E12011  # arbitrary fixed public seed for all builtin inputs
+
+
+def _digest(payload: Any) -> str:
+    """Stable hash of a JSON-able deterministic result."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode()).hexdigest()[:16]
+
+
+def _scaled(base: int, scale: float, *, lo: int) -> int:
+    return max(lo, int(base * scale))
+
+
+# --------------------------------------------------------------------- #
+# L0 sampler update loop (the headline microbench)
+# --------------------------------------------------------------------- #
+
+
+def _l0_inputs(scale: float) -> tuple[L0SamplerParams, list[tuple[int, int]]]:
+    """One sampler's params plus a splitmix-derived update stream."""
+    n = _scaled(96, scale, lo=16)
+    m = n * (n - 1) // 2
+    params = L0SamplerParams.derive(m, _SEED, 1)
+    count = _scaled(4000, scale, lo=64)
+    updates = []
+    x = _SEED
+    for _ in range(count):
+        x = splitmix64(x)
+        updates.append((x % m, 1 if x & 1 else -1))
+    return params, updates
+
+
+def _reference_l0_update(sampler: L0Sampler, index: int, delta: int) -> None:
+    """The pre-optimization update: one field-call chain per surviving level."""
+    deepest = sampler._level_of(index)
+    for lvl in range(deepest + 1):
+        sketch = sampler.sketches[lvl]
+        if not 0 <= index < sketch.m:
+            raise ValueError(f"index {index} outside 0..{sketch.m - 1}")
+        sketch.c0 += delta
+        sketch.c1 += index * delta
+        sketch.c2 = fadd(sketch.c2, fmul(delta % MERSENNE61, fpow(sketch.z, index + 1)))
+
+
+@register("l0-update", kind="benchmark", capabilities=("micro", "sketching"),
+          summary="L0 sampler update loop (optimized single-pow fan-out).")
+def _bench_l0_update(scale: float = 1.0) -> BenchCase:
+    params, updates = _l0_inputs(scale)
+
+    def op():
+        sampler = L0Sampler(params)
+        sampler.update_many(updates)
+        return {"ops": len(updates), "digest": _digest(sampler.counters())}
+
+    return BenchCase(op=op, meta={"m": params.m, "levels": params.levels,
+                                  "updates": len(updates)})
+
+
+@register("l0-update-naive", kind="benchmark", capabilities=("micro", "sketching", "reference"),
+          summary="L0 sampler update loop, pre-optimization reference "
+                  "(per-level field calls).")
+def _bench_l0_update_naive(scale: float = 1.0) -> BenchCase:
+    params, updates = _l0_inputs(scale)
+
+    def op():
+        sampler = L0Sampler(params)
+        for index, delta in updates:
+            _reference_l0_update(sampler, index, delta)
+        return {"ops": len(updates), "digest": _digest(sampler.counters())}
+
+    return BenchCase(op=op, meta={"m": params.m, "levels": params.levels,
+                                  "updates": len(updates)})
+
+
+# --------------------------------------------------------------------- #
+# parameter derivation
+# --------------------------------------------------------------------- #
+
+
+def _derive_tags(scale: float) -> list[tuple[int, int]]:
+    count = _scaled(3000, scale, lo=32)
+    return [(n, r) for n in (64, 256, 1024) for r in range(count // 3)]
+
+
+@register("derive-params", kind="benchmark", capabilities=("micro", "sketching"),
+          summary="Batched (alpha, beta, z) parameter derivation "
+                  "(derive_params_block).")
+def _bench_derive_params(scale: float = 1.0) -> BenchCase:
+    tag_pairs = _derive_tags(scale)
+
+    def op():
+        acc = 0
+        for n, r in tag_pairs:
+            a, b, z = derive_params_block(_SEED, 3, n, r)
+            acc ^= a ^ b ^ z
+        return {"ops": 3 * len(tag_pairs), "digest": _digest(acc)}
+
+    return BenchCase(op=op, meta={"instances": len(tag_pairs)})
+
+
+@register("derive-params-naive", kind="benchmark",
+          capabilities=("micro", "sketching", "reference"),
+          summary="Scalar (alpha, beta, z) parameter derivation, one "
+                  "derive_params call per value.")
+def _bench_derive_params_naive(scale: float = 1.0) -> BenchCase:
+    tag_pairs = _derive_tags(scale)
+
+    def op():
+        acc = 0
+        for n, r in tag_pairs:
+            a = derive_params(_SEED, 1, n, r)
+            b = derive_params(_SEED, 2, n, r)
+            z = derive_params(_SEED, 3, n, r)
+            acc ^= a ^ b ^ z
+        return {"ops": 3 * len(tag_pairs), "digest": _digest(acc)}
+
+    return BenchCase(op=op, meta={"instances": len(tag_pairs)})
+
+
+# --------------------------------------------------------------------- #
+# bit packing
+# --------------------------------------------------------------------- #
+
+
+def _pack_fields(scale: float) -> list[tuple[int, int]]:
+    """A sketch-message-shaped field stream: (w0, w1, 61)-bit triples."""
+    count = _scaled(3000, scale, lo=60)
+    fields = []
+    x = _SEED ^ 0x5
+    for i in range(count):
+        x = splitmix64(x)
+        width = (12, 24, 61)[i % 3]
+        fields.append((x & ((1 << width) - 1), width))
+    return fields
+
+
+@register("bits-pack", kind="benchmark", capabilities=("micro", "bits"),
+          summary="Message packing via single-pass BitWriter.write_many.")
+def _bench_bits_pack(scale: float = 1.0) -> BenchCase:
+    fields = _pack_fields(scale)
+    total = sum(w for _, w in fields)
+
+    def op():
+        writer = BitWriter()
+        writer.write_many(fields)
+        return {"ops": len(fields), "bits": len(writer),
+                "digest": _digest(writer.to_bytes().hex())}
+
+    return BenchCase(op=op, meta={"fields": len(fields), "stream_bits": total})
+
+
+@register("bits-pack-naive", kind="benchmark",
+          capabilities=("micro", "bits", "reference"),
+          summary="Message packing via one BitWriter.write_bits call per field.")
+def _bench_bits_pack_naive(scale: float = 1.0) -> BenchCase:
+    fields = _pack_fields(scale)
+    total = sum(w for _, w in fields)
+
+    def op():
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write_bits(value, width)
+        return {"ops": len(fields), "bits": len(writer),
+                "digest": _digest(writer.to_bytes().hex())}
+
+    return BenchCase(op=op, meta={"fields": len(fields), "stream_bits": total})
+
+
+# --------------------------------------------------------------------- #
+# end-to-end loads
+# --------------------------------------------------------------------- #
+
+
+@register("sketch-connectivity", kind="benchmark",
+          capabilities=("end-to-end", "sketching"),
+          summary="Full AGM sketch round: encode every node, Boruvka-decode "
+                  "the spanning forest.")
+def _bench_sketch_connectivity(scale: float = 1.0) -> BenchCase:
+    from repro.graphs.generators import random_tree
+
+    n = _scaled(28, scale, lo=8)
+    g = random_tree(n, seed=3)
+
+    def op():
+        report = sketch_spanning_forest(g, seed=1)
+        return {
+            "ops": n,
+            "bits": report.bits_per_node,
+            "digest": _digest([report.connected, list(map(list, report.forest_edges))]),
+        }
+
+    return BenchCase(op=op, meta={"n": n, "family": "random_tree"})
+
+
+def _session_case(name: str, family: str, protocol: str, n: int,
+                  seeds: tuple[int, ...]) -> BenchCase:
+    """A campaign driven through the fluent API; digest = records identity."""
+    from repro.api import Session
+
+    session = (Session(name)
+               .graphs(family, n=n, seeds=seeds)
+               .protocol(protocol))
+
+    def op():
+        run = session.run()
+        records = run.records
+        bits = sum(r.total_message_bits for r in records)
+        identity = sorted(
+            (r.spec.content_hash(), r.output_digest, r.status) for r in records
+        )
+        return {"ops": len(records), "bits": bits, "digest": _digest(identity)}
+
+    return BenchCase(op=op, meta={"family": family, "protocol": protocol,
+                                  "n": n, "seeds": len(seeds)})
+
+
+@register("session-forest", kind="benchmark", capabilities=("campaign",),
+          summary="Forest-reconstruction campaign through repro.api.Session "
+                  "(records digested).")
+def _bench_session_forest(scale: float = 1.0) -> BenchCase:
+    return _session_case("bench-forest", "random_forest", "forest",
+                         _scaled(24, scale, lo=8), (0, 1))
+
+
+@register("session-sketch", kind="benchmark", capabilities=("campaign", "sketching"),
+          summary="AGM-connectivity campaign through repro.api.Session "
+                  "(records digested).")
+def _bench_session_sketch(scale: float = 1.0) -> BenchCase:
+    return _session_case("bench-sketch", "two_components", "agm_connectivity",
+                         _scaled(14, scale, lo=6), (0,))

@@ -65,6 +65,40 @@ class BitWriter:
         self._acc = (self._acc << width) | value
         self._nbits += width
 
+    def write_many(self, fields) -> None:
+        """Append ``(value, width)`` pairs in a single pass, MSB first.
+
+        Bit-identical to calling :meth:`write_bits` per pair, but the
+        (arbitrarily large) accumulated stream is never shifted per field:
+        fields fold into a small bounded chunk, and only full chunks are
+        spliced onto the stream — packing ``k`` fields into an ``N``-bit
+        message costs ``O(N²/chunk + k)`` bit-copies instead of the
+        ``O(N·k)`` of per-field appends.  This is the encoder hot path for
+        sketch messages (rounds × levels × 3 counters each).  Validation
+        failures raise before the writer is touched, so a rejected batch
+        never leaves a half-written stream.
+        """
+        parts: list[tuple[int, int]] = []
+        acc = 0
+        nbits = 0
+        for value, width in fields:
+            if width < 0:
+                raise CodecError(f"width must be >= 0, got {width}")
+            if value < 0:
+                raise CodecError(f"value must be >= 0, got {value}")
+            if value >> width:
+                raise CodecError(f"value {value} does not fit in {width} bits")
+            acc = (acc << width) | value
+            nbits += width
+            if nbits >= 8192:
+                parts.append((acc, nbits))
+                acc = 0
+                nbits = 0
+        parts.append((acc, nbits))
+        for chunk, chunk_bits in parts:
+            self._acc = (self._acc << chunk_bits) | chunk
+            self._nbits += chunk_bits
+
     def write_writer(self, other: "BitWriter") -> None:
         """Append the full contents of another writer."""
         self._acc = (self._acc << other._nbits) | other._acc

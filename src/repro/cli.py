@@ -11,13 +11,15 @@ Usage::
     python -m repro diff results-a/smoke.jsonl results-b/smoke.jsonl
     python -m repro baseline freeze results/smoke.jsonl --name smoke
     python -m repro baseline check results/smoke.jsonl benchmarks/baselines/smoke.json
+    python -m repro bench --json                   # perf suite -> BENCH_PR4.json
+    python -m repro bench --gate benchmarks/baselines/bench.json  # exit 1 on regression
 
 ``python -m repro EXP-L2`` / ``python -m repro all`` remain as aliases for
 the ``experiment`` subcommand so existing scripts keep working.
 
 Exit codes: 0 success, 1 gate failure (``diff`` found differences,
-``baseline check`` failed), 2 usage error (unknown subcommand, malformed
-flags, unreadable or schema-invalid input).  Argparse errors are converted
+``baseline check`` failed, ``bench --gate`` regressed), 2 usage error
+(unknown subcommand, malformed flags, unreadable or schema-invalid input).  Argparse errors are converted
 to return codes — :func:`main` never lets ``SystemExit`` escape.
 
 Experiment tables are also written by ``pytest benchmarks/`` into
@@ -36,7 +38,8 @@ from repro.analysis import format_table
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("list", "experiment", "campaign", "report", "diff", "baseline")
+_SUBCOMMANDS = ("list", "experiment", "campaign", "report", "diff", "baseline",
+                "bench")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,6 +107,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--bits-tolerance", type=float, default=0.0, metavar="F",
                          help="relative bit-count tolerance (default: 0 = exact)")
     p_check.add_argument("--json", action="store_true", help="emit the verdict as JSON")
+
+    p_bench = sub.add_parser(
+        "bench", help="run the registered benchmark suite (kind 'benchmark')")
+    p_bench.add_argument("benchmarks", nargs="*", metavar="NAME",
+                         help="benchmark names (default: the whole suite; "
+                         "see `repro list --kind benchmark`)")
+    p_bench.add_argument("--scale", type=float, default=1.0, metavar="F",
+                         help="input-size multiplier applied to every "
+                         "benchmark (default: 1.0)")
+    p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="timed repetitions per benchmark (default: 3)")
+    p_bench.add_argument("--output", default=None, metavar="PATH",
+                         help="where to write the JSON report "
+                         "(default: BENCH_PR4.json; '-' disables)")
+    p_bench.add_argument("--freeze", default=None, metavar="PATH",
+                         help="also freeze this run as a bench baseline at PATH")
+    p_bench.add_argument("--gate", default=None, metavar="BASELINE",
+                         help="check the run against a frozen bench baseline "
+                         "(exit 1 on regression)")
+    p_bench.add_argument("--time-tolerance", type=float, default=None, metavar="R",
+                         help="with --gate: fail when a benchmark's mean wall "
+                         "time exceeds R x the baseline's (default: timing "
+                         "never fails the gate)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit the report (and gate verdict) as JSON")
     return parser
 
 
@@ -112,6 +140,7 @@ _KIND_HEADINGS = {
     "protocol": "protocols",
     "experiment": "experiments",
     "campaign": "campaigns",
+    "benchmark": "benchmarks",
 }
 
 
@@ -308,6 +337,82 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0 if verdict.passed else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        DEFAULT_OUTPUT,
+        check_suite,
+        freeze_suite,
+        run_suite,
+        write_suite,
+    )
+    from repro.errors import BenchError, ReproError
+
+    try:
+        report = run_suite(args.benchmarks or None, scale=args.scale,
+                           repeats=args.repeats)
+    except (BenchError, ReproError) as exc:
+        # covers UnknownRegistryEntry too (the did-you-mean is in the message)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    output = DEFAULT_OUTPUT if args.output is None else args.output
+    written = None
+    try:
+        if str(output) != "-":
+            written = write_suite(report, output)
+        if args.freeze:
+            freeze_suite(report, args.freeze)
+    except (BenchError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    verdict = None
+    if args.gate is not None:
+        try:
+            verdict = check_suite(report, args.gate,
+                                  time_tolerance=args.time_tolerance)
+        except (BenchError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.time_tolerance is not None:
+        print("note: --time-tolerance has no effect without --gate",
+              file=sys.stderr)
+
+    if args.json:
+        payload = dict(report)
+        if verdict is not None:
+            payload["gate"] = verdict.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = []
+        for name in report["suite"]:
+            entry = report["results"][name]
+            rows.append([
+                name, entry["ops"], entry["bits"],
+                entry["wall_seconds"]["mean"], entry["ops_per_second"],
+            ])
+        print(format_table(
+            f"bench suite — {len(rows)} benchmark(s), scale "
+            f"{report['scale']}, {report['repeats']} repeat(s)",
+            ["benchmark", "ops", "bits", "mean s", "ops/s"], rows,
+        ))
+        for name, ratio in sorted(report["speedups"].items()):
+            print(f"  speedup {name}: {ratio}x vs {name}-naive")
+        if written is not None:
+            print(f"  report -> {written}")
+        if args.freeze:
+            print(f"  baseline -> {args.freeze}")
+        if verdict is not None:
+            print(f"  gate {verdict.baseline_name}: "
+                  f"{len(verdict.failures)} failure(s)")
+            for failure in verdict.failures[:20]:
+                print(f"    FAIL [{failure.kind}] {failure.key}: {failure.detail}")
+            if len(verdict.failures) > 20:
+                print(f"    ... and {len(verdict.failures) - 20} more (use --json)")
+            print("  " + ("passed" if verdict.passed else "FAILED"))
+    return 0 if verdict is None or verdict.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `python -m repro EXP-T5` / `all` mean `experiment <id>`.
@@ -337,6 +442,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_baseline(args)
 
 

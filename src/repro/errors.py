@@ -26,6 +26,7 @@ __all__ = [
     "ResultsError",
     "SchemaError",
     "BaselineError",
+    "BenchError",
 ]
 
 
@@ -140,3 +141,8 @@ class SchemaError(ResultsError):
 
 class BaselineError(ResultsError):
     """Raised when a frozen baseline file is missing or malformed."""
+
+
+class BenchError(ReproError):
+    """Raised by the benchmark harness (:mod:`repro.bench`) on bad suite
+    arguments or a missing/malformed bench baseline."""

@@ -91,10 +91,11 @@ def encode_powersum_message(n: int, k: int, i: int, neighborhood: frozenset[int]
     """Serialize Algorithm 3's tuple for node ``i``; all widths derive from ``(n, k)``."""
     w = id_width(n)
     writer = BitWriter()
-    writer.write_bits(i, w)
-    writer.write_bits(len(neighborhood), w)
-    for p, b in enumerate(compute_power_sums(neighborhood, k), start=1):
-        writer.write_bits(b, (p + 1) * w)
+    writer.write_many(
+        [(i, w), (len(neighborhood), w)]
+        + [(b, (p + 1) * w)
+           for p, b in enumerate(compute_power_sums(neighborhood, k), start=1)]
+    )
     return Message.from_writer(writer)
 
 

@@ -11,6 +11,7 @@ kind                      what the factory builds                      registere
 ``protocol``              ``(n, **params) -> OneRoundProtocol``        ``repro/protocols/*.py``, ``repro/sketching/*.py``
 ``experiment``            ``(**params) -> (title, headers, rows)``     ``repro.analysis.experiments``
 ``campaign``              ``() -> list[Scenario]``                     ``repro.engine.campaign``
+``benchmark``             ``(**params) -> BenchCase``                  ``repro.bench.builtin``
 ========================  ===========================================  =====================
 
 Modules self-register with the :func:`register` decorator::
@@ -56,6 +57,7 @@ __all__ = [
     "PROTOCOL",
     "EXPERIMENT",
     "CAMPAIGN",
+    "BENCHMARK",
     "KINDS",
     "register",
     "registry_for",
@@ -101,9 +103,15 @@ CAMPAIGN: Registry = Registry(
     modules=("repro.engine.campaign",),
 )
 
+#: The benchmark registry: ``(**params) -> repro.bench.BenchCase``.
+BENCHMARK: Registry = Registry(
+    "benchmark",
+    modules=("repro.bench.builtin",),
+)
+
 #: kind key -> registry, in catalog order.
 KINDS: dict[str, Registry] = {
-    r.kind: r for r in (GRAPH_FAMILY, PROTOCOL, EXPERIMENT, CAMPAIGN)
+    r.kind: r for r in (GRAPH_FAMILY, PROTOCOL, EXPERIMENT, CAMPAIGN, BENCHMARK)
 }
 
 

@@ -26,7 +26,14 @@ the referee can aggregate per-component without any node knowing anything
 beyond its own neighbourhood.
 """
 
-from repro.sketching.field import MERSENNE61, fadd, fmul, fpow
+from repro.sketching.field import (
+    MERSENNE61,
+    derive_params,
+    derive_params_block,
+    fadd,
+    fmul,
+    fpow,
+)
 from repro.sketching.onesparse import OneSparseSketch, OneSparseResult
 from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
 from repro.sketching.connectivity import (
@@ -41,6 +48,8 @@ __all__ = [
     "SketchBipartitenessProtocol",
     "BipartitenessReport",
     "MERSENNE61",
+    "derive_params",
+    "derive_params_block",
     "fadd",
     "fmul",
     "fpow",

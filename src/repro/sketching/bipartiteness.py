@@ -99,7 +99,7 @@ class SketchBipartitenessProtocol(DecisionProtocol):
         if n < 2:
             return Message.empty()
         rounds = self.rounds_for(n)
-        writer = BitWriter()
+        fields: list[tuple[int, int]] = []
         # bank 1: plain incidence sketches of i in G
         wg0, wg1 = self._widths(n, "g")
         for r in range(rounds):
@@ -110,9 +110,9 @@ class SketchBipartitenessProtocol(DecisionProtocol):
                 else:
                     sampler.update(edge_index(n, w, i), -1)
             for c0, c1, c2 in sampler.counters():
-                writer.write_bits(_zigzag(c0), wg0)
-                writer.write_bits(_zigzag(c1), wg1)
-                writer.write_bits(c2, 61)
+                fields.append((_zigzag(c0), wg0))
+                fields.append((_zigzag(c1), wg1))
+                fields.append((c2, 61))
         # bank 2: DC incidence sketches of BOTH lifts of i (i and i+n)
         wd0, wd1 = self._widths(n, "dc")
         for primed in (False, True):
@@ -126,9 +126,11 @@ class SketchBipartitenessProtocol(DecisionProtocol):
                     else:
                         sampler.update(edge_index(2 * n, other, me), -1)
                 for c0, c1, c2 in sampler.counters():
-                    writer.write_bits(_zigzag(c0), wd0)
-                    writer.write_bits(_zigzag(c1), wd1)
-                    writer.write_bits(c2, 61)
+                    fields.append((_zigzag(c0), wd0))
+                    fields.append((_zigzag(c1), wd1))
+                    fields.append((c2, 61))
+        writer = BitWriter()
+        writer.write_many(fields)
         return Message.from_writer(writer)
 
     # ------------------------------------------------------------------ #

@@ -148,12 +148,16 @@ class AGMConnectivityProtocol(DecisionProtocol):
         if n < 2:
             return Message.empty()
         w0, w1 = self._widths(n)
-        writer = BitWriter()
+        # Collect every fixed-width field, then pack the whole message in
+        # one BitWriter.write_many pass (bit-identical to per-field writes).
+        fields: list[tuple[int, int]] = []
         for sampler in self._node_samplers(n, i, neighborhood):
             for c0, c1, c2 in sampler.counters():
-                writer.write_bits(_zigzag(c0), w0)
-                writer.write_bits(_zigzag(c1), w1)
-                writer.write_bits(c2, 61)
+                fields.append((_zigzag(c0), w0))
+                fields.append((_zigzag(c1), w1))
+                fields.append((c2, 61))
+        writer = BitWriter()
+        writer.write_many(fields)
         return Message.from_writer(writer)
 
     # ------------------------------------------------------------------ #

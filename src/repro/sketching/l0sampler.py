@@ -15,10 +15,12 @@ derived from ``(seed, tags)`` public randomness so distributed parties agree.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import SketchFailure
-from repro.sketching.field import MERSENNE61, derive_params
+from repro.sketching.field import MERSENNE61, derive_params_block
 from repro.sketching.onesparse import OneSparseResult, OneSparseSketch, RecoveryStatus
 
 __all__ = ["L0SamplerParams", "L0Sampler"]
@@ -36,12 +38,30 @@ class L0SamplerParams:
 
     @classmethod
     def derive(cls, m: int, seed: int, *tags: int) -> "L0SamplerParams":
-        """Derive parameters for instance ``tags`` from the public seed."""
-        levels = max(1, m.bit_length() + 1)
-        alpha = derive_params(seed, 1, *tags) % (MERSENNE61 - 1) + 1
-        beta = derive_params(seed, 2, *tags) % MERSENNE61
-        z = derive_params(seed, 3, *tags) % (MERSENNE61 - 1) + 1
-        return cls(m=m, levels=levels, alpha=alpha, beta=beta, z=z)
+        """Derive parameters for instance ``tags`` from the public seed.
+
+        Deterministic in ``(m, seed, tags)``, so results are memoized:
+        protocols that re-derive the same per-round parameters for every
+        node (the referee does, once per node per Borůvka round) hit the
+        cache after the first call.
+        """
+        return _derive_cached(m, seed, tags)
+
+
+@lru_cache(maxsize=1 << 16)
+def _derive_cached(m: int, seed: int, tags: tuple[int, ...]) -> L0SamplerParams:
+    """The memoized body of :meth:`L0SamplerParams.derive` (pure function)."""
+    levels = max(1, m.bit_length() + 1)
+    # One batched derivation (alpha, beta, z) <-> which = 1, 2, 3 — value-
+    # identical to three scalar derive_params(seed, which, *tags) calls.
+    raw_alpha, raw_beta, raw_z = derive_params_block(seed, 3, *tags)
+    return L0SamplerParams(
+        m=m,
+        levels=levels,
+        alpha=raw_alpha % (MERSENNE61 - 1) + 1,
+        beta=raw_beta % MERSENNE61,
+        z=raw_z % (MERSENNE61 - 1) + 1,
+    )
 
 
 class L0Sampler:
@@ -62,10 +82,28 @@ class L0Sampler:
         return min(tz, self.params.levels - 1)
 
     def update(self, index: int, delta: int) -> None:
-        """Add ``delta`` to coordinate ``index`` at every level it survives to."""
+        """Add ``delta`` to coordinate ``index`` at every level it survives to.
+
+        Hot path: every level shares the fingerprint base ``z``, so the
+        exponentiation ``z^{index+1}`` is computed once and its term fanned
+        out inline across the surviving levels — counter-identical to
+        calling each sketch's ``update`` (the parity suite pins this).
+        """
+        params = self.params
+        if not 0 <= index < params.m:
+            raise ValueError(f"index {index} outside 0..{params.m - 1}")
         deepest = self._level_of(index)
-        for lvl in range(deepest + 1):
-            self.sketches[lvl].update(index, delta)
+        term = delta % MERSENNE61 * pow(params.z, index + 1, MERSENNE61) % MERSENNE61
+        idelta = index * delta
+        for sketch in self.sketches[:deepest + 1]:
+            sketch.c0 += delta
+            sketch.c1 += idelta
+            sketch.c2 = (sketch.c2 + term) % MERSENNE61
+
+    def update_many(self, updates: "Iterable[tuple[int, int]]") -> None:
+        """Apply ``(index, delta)`` pairs in one pass (batched :meth:`update`)."""
+        for index, delta in updates:
+            self.update(index, delta)
 
     def merged(self, other: "L0Sampler") -> "L0Sampler":
         """Linear combination (same parameters required)."""

@@ -61,10 +61,11 @@ class MultiRoundSketchConnectivity(MultiRoundProtocol):
                 sampler.update(self._edge_index(n, w, i), -1)
         w0, w1 = self._inner._widths(n)
         writer = BitWriter()
-        for c0, c1, c2 in sampler.counters():
-            writer.write_bits(_zigzag(c0), w0)
-            writer.write_bits(_zigzag(c1), w1)
-            writer.write_bits(c2, 61)
+        writer.write_many(
+            field
+            for c0, c1, c2 in sampler.counters()
+            for field in ((_zigzag(c0), w0), (_zigzag(c1), w1), (c2, 61))
+        )
         return Message.from_writer(writer)
 
     @staticmethod
