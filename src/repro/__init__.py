@@ -67,7 +67,7 @@ campaign quickstart.
 import importlib
 from typing import Any
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Lazy export map (PEP 562): public name -> defining module.  `import
 #: repro` stays cheap — protocols, engine, sketching, and the analysis
@@ -122,6 +122,10 @@ _LAZY_EXPORTS = {
     "Campaign": "repro.engine",
     "builtin_campaign": "repro.engine",
     "load_campaign": "repro.engine",
+    "ShardError": "repro.errors",
+    "ShardIncomplete": "repro.errors",
+    "ShardManifest": "repro.engine",
+    "merge_shards": "repro.engine",
     # fluent front door
     "Session": "repro.api",
     # results

@@ -28,6 +28,12 @@ chains are reusable prefixes::
 
 Names resolve through :mod:`repro.registry` at call time, so typos fail
 fast with a did-you-mean suggestion instead of surfacing mid-campaign.
+
+Scale-out rides the same chain: ``.persist(dir).shard(3, index=1)`` runs
+one worker's slice of the campaign (durable stream + completion mark),
+``.shard(3)`` runs every shard in-process with checkpoints and
+auto-merges, and ``.resume()`` replays the durable prefix of an
+interrupted run — see :mod:`repro.engine.shard`.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import registry
-from repro.errors import BaselineError, ProtocolError
+from repro.errors import BaselineError, ProtocolError, ShardError
 from repro.analysis.tables import format_table
 from repro.engine.campaign import Campaign, CampaignResult
 from repro.engine.executor import EXECUTOR_KINDS, Executor, make_executor
@@ -103,6 +109,9 @@ class Session:
         self._jobs: int | None = None
         self._results_dir: str | pathlib.Path | None = None
         self._use_cache: bool = True
+        self._shards: int | None = None
+        self._shard_index: int | None = None
+        self._resume: bool = False
 
     # ------------------------------------------------------------------ #
     # builder steps (copy-on-write)
@@ -197,6 +206,39 @@ class Session:
         clone._use_cache = use_cache
         return clone
 
+    def shard(self, shards: int, index: int | None = None) -> "Session":
+        """Split the campaign into ``shards`` by spec content hash.
+
+        With ``index`` this session runs only that shard (the scale-out
+        form: one worker per index, :meth:`SessionRun` pointing at the
+        shard stream); with ``index=None`` :meth:`run` executes every
+        shard in-process and merges them into the canonical JSONL —
+        the checkpointed single-machine form.  Requires :meth:`persist`
+        (shard streams and the manifest are durable artifacts).
+        """
+        if shards < 1:
+            raise ShardError(f"shards must be >= 1, got {shards}")
+        if index is not None and not 0 <= index < shards:
+            raise ShardError(
+                f"shard index {index} out of range for {shards} shard(s) "
+                f"(valid: 0..{shards - 1})"
+            )
+        clone = self._clone()
+        clone._shards = shards
+        clone._shard_index = index
+        return clone
+
+    def resume(self, enabled: bool = True) -> "Session":
+        """Replay the durable prefix of an interrupted run, execute the rest.
+
+        Requires the checkpoint manifest a previous persisted :meth:`run`
+        wrote; a manifest whose grid, shard count, or ``SPEC_VERSION`` no
+        longer matches is refused with an actionable error.
+        """
+        clone = self._clone()
+        clone._resume = bool(enabled)
+        return clone
+
     # ------------------------------------------------------------------ #
     # terminal steps
     # ------------------------------------------------------------------ #
@@ -239,11 +281,15 @@ class Session:
     def run(self, executor: Executor | None = None) -> "SessionRun":
         """Execute the campaign and return the chainable result."""
         campaign = self.build()
+        kwargs = dict(
+            shards=self._shards, shard_index=self._shard_index,
+            resume=self._resume,
+        )
         if executor is not None:
-            result = campaign.run(executor)
+            result = campaign.run(executor, **kwargs)
         else:
             with make_executor(self._executor_kind, self._jobs) as ex:
-                result = campaign.run(ex)
+                result = campaign.run(ex, **kwargs)
         return SessionRun(session=self, result=result)
 
     def __repr__(self) -> str:  # pragma: no cover

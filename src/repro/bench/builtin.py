@@ -271,3 +271,56 @@ def _bench_session_forest(scale: float = 1.0) -> BenchCase:
 def _bench_session_sketch(scale: float = 1.0) -> BenchCase:
     return _session_case("bench-sketch", "two_components", "agm_connectivity",
                          _scaled(14, scale, lo=6), (0,))
+
+
+@register("campaign-resume", kind="benchmark", capabilities=("campaign", "engine"),
+          summary="Resume overhead: replay a fully-checkpointed sharded "
+                  "campaign with zero recomputation, re-merge, digest.")
+def _bench_campaign_resume(scale: float = 1.0) -> BenchCase:
+    """What ``--resume`` costs when there is nothing left to compute.
+
+    A sharded forest campaign is run to completion at factory time (off
+    the clock, durable streams + done markers under a temp dir); the
+    timed op resumes it — load the manifest, prefix-match both shard
+    streams, replay every record, re-merge the canonical JSONL — which is
+    exactly the fixed overhead a crash recovery or a CI re-run pays on
+    top of the missing work.  ``ops``/``bits``/``digest`` cover the
+    replayed records *and* the shard-artifact layout, so a change that
+    broke replay fidelity or the on-disk contract fails the bench gate.
+    """
+    import pathlib
+    import tempfile
+
+    from repro.api import Session
+
+    n = _scaled(20, scale, lo=8)
+    seeds = tuple(range(_scaled(4, scale, lo=2)))
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-resume-")
+    session = (Session("bench-resume")
+               .graphs("random_forest", n=n, seeds=seeds)
+               .protocol("forest")
+               .persist(tmp.name, use_cache=False)
+               .shard(2))
+    session.run()  # checkpoint everything off the clock
+
+    def op():
+        # `tmp` is closed over here, keeping the checkpoint directory
+        # alive for the whole timed run.
+        run = session.resume().run()
+        records = run.records
+        layout = sorted(
+            p.name for p in pathlib.Path(tmp.name).iterdir()
+            if p.suffix in (".jsonl", ".json", ".done")
+        )
+        identity = sorted(
+            (r.spec.content_hash(), r.output_digest, r.status) for r in records
+        )
+        return {
+            "ops": len(records),
+            "bits": sum(r.total_message_bits for r in records),
+            "digest": _digest([identity, layout]),
+            "resumed": run.result.resumed,
+        }
+
+    return BenchCase(op=op, meta={"family": "random_forest", "n": n,
+                                  "seeds": len(seeds), "shards": 2})

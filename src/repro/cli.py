@@ -7,6 +7,9 @@ Usage::
     python -m repro experiment all --json      # every experiment, as JSON
     python -m repro campaign smoke             # run a builtin campaign
     python -m repro campaign spec.json --jobs 4 --executor process
+    python -m repro campaign smoke --shards 3 --shard-index 0   # one worker's slice
+    python -m repro campaign smoke --shards 3 --shard-index 0 --resume
+    python -m repro merge smoke                # reassemble shard streams
     python -m repro report results/smoke.jsonl --by protocol,n
     python -m repro diff results-a/smoke.jsonl results-b/smoke.jsonl
     python -m repro baseline freeze results/smoke.jsonl --name smoke
@@ -18,9 +21,12 @@ Usage::
 the ``experiment`` subcommand so existing scripts keep working.
 
 Exit codes: 0 success, 1 gate failure (``diff`` found differences,
-``baseline check`` failed, ``bench --gate`` regressed), 2 usage error
-(unknown subcommand, malformed flags, unreadable or schema-invalid input).  Argparse errors are converted
-to return codes — :func:`main` never lets ``SystemExit`` escape.
+``baseline check`` failed, ``bench --gate`` regressed, ``merge`` found
+incomplete shards — retry after resuming them), 2 usage error (unknown
+subcommand, malformed flags, unreadable or schema-invalid input, bad shard
+geometry, ``--resume`` without a manifest or against a stale/edited one).
+Argparse errors are converted to return codes — :func:`main` never lets
+``SystemExit`` escape.
 
 Experiment tables are also written by ``pytest benchmarks/`` into
 ``benchmarks/results/``; campaigns stream JSONL records into ``results/``
@@ -38,8 +44,8 @@ from repro.analysis import format_table
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("list", "experiment", "campaign", "report", "diff", "baseline",
-                "bench")
+_SUBCOMMANDS = ("list", "experiment", "campaign", "merge", "report", "diff",
+                "baseline", "bench")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,7 +79,26 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="where JSONL records and the cache live (default: results/)")
     p_camp.add_argument("--no-cache", action="store_true",
                         help="recompute every run, ignoring cached results")
+    p_camp.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="split the grid into N shards by spec content "
+                        "hash (see `repro merge`)")
+    p_camp.add_argument("--shard-index", type=int, default=None, metavar="I",
+                        help="run only shard I (0-based); omit to run every "
+                        "shard in this process and auto-merge")
+    p_camp.add_argument("--resume", action="store_true",
+                        help="replay the durable prefix of an interrupted "
+                        "run and execute only what is missing")
     p_camp.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    p_merge = sub.add_parser(
+        "merge", help="merge completed shard streams into the canonical JSONL")
+    p_merge.add_argument("campaign", help="campaign name (the manifest lives at "
+                         "<results-dir>/<name>.manifest.json)")
+    p_merge.add_argument("--results-dir", default="results", metavar="DIR",
+                         help="where the manifest and shard streams live "
+                         "(default: results/)")
+    p_merge.add_argument("--json", action="store_true",
+                         help="emit the merge summary as JSON")
 
     p_rep = sub.add_parser("report", help="aggregate a campaign JSONL file")
     p_rep.add_argument("records", help="path to a results/<name>.jsonl file")
@@ -194,7 +219,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.errors import ReproError
+    from repro.errors import ReproError, ShardError
     from repro.engine import load_campaign, make_executor
 
     try:
@@ -216,22 +241,69 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except ReproError as exc:  # e.g. --jobs 0
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    with executor:
-        result = campaign.run(executor)
+    try:
+        with executor:
+            result = campaign.run(
+                executor,
+                shards=args.shards,
+                shard_index=args.shard_index,
+                resume=args.resume,
+            )
+    except ShardError as exc:
+        # bad shard geometry, missing/stale manifest, edited grid — all
+        # usage-shaped refusals with the fix in the message
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2))
         return 0
-    print(f"campaign {summary['campaign']}: {summary['runs']} runs "
+    shard_note = ""
+    if result.shards is not None:
+        which = "all shards" if result.shard_index is None \
+            else f"shard {result.shard_index}"
+        shard_note = f" [{which} of {result.shards}]"
+    print(f"campaign {summary['campaign']}{shard_note}: {summary['runs']} runs "
           f"({summary['cache_hits']} cached) via {summary['executor']} "
           f"in {summary['wall_seconds']}s")
+    if result.resumed:
+        print(f"  resumed    {result.resumed} (replayed from the durable stream)")
     for status, count in sorted(summary["statuses"].items()):
         print(f"  {status:10s} {count}")
     if summary["exact"] or summary["inexact"]:
         print(f"  exact      {summary['exact']}/{summary['exact'] + summary['inexact']}")
     if summary["jsonl"]:
         print(f"  records -> {summary['jsonl']}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError, ShardIncomplete
+    from repro.engine import ShardManifest, merge_shards
+
+    try:
+        path, count = merge_shards(args.results_dir, args.campaign)
+    except ShardIncomplete as exc:
+        # shards still running / torn — a retryable gate failure, not misuse
+        print(f"not ready: {exc}", file=sys.stderr)
+        try:
+            manifest = ShardManifest.load(args.results_dir, args.campaign)
+            done = manifest.completion(args.results_dir)
+            print(f"  shards complete: {sum(done)}/{manifest.shards} "
+                  f"{['done' if d else 'pending' for d in done]}",
+                  file=sys.stderr)
+        except ReproError:
+            pass
+        return 1
+    except (ReproError, OSError) as exc:  # missing/stale/corrupt manifest
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"campaign": args.campaign, "records": count,
+                          "jsonl": str(path)}, indent=2, sort_keys=True))
+        return 0
+    print(f"merged {args.campaign}: {count} records -> {path}")
     return 0
 
 
@@ -438,6 +510,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "diff":

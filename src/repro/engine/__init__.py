@@ -17,9 +17,16 @@ both:
   into small picklable :class:`RunSpec` records, plus the worker-side
   :func:`execute_run`;
 * :mod:`~repro.engine.campaign` — the :class:`Campaign` runner: grid
-  expansion, content-hash result caching, JSONL persistence under
-  ``results/``, and the builtin campaigns the CLI exposes as
-  ``python -m repro campaign <name>``.
+  expansion, content-hash result caching, durable JSONL streaming under
+  ``results/`` (fsync per record), and the builtin campaigns the CLI
+  exposes as ``python -m repro campaign <name>``;
+* :mod:`~repro.engine.shard` — sharded, checkpointed execution: one
+  campaign split across worker processes / machines / CI matrix jobs by
+  deterministic content-hash assignment, an atomic checkpoint manifest,
+  crash-tolerant per-shard streams with completion marks, and the
+  :func:`merge_shards` step (CLI ``python -m repro merge``) that
+  reassembles the canonical JSONL.  ``Campaign.run(shards=, shard_index=,
+  resume=)`` / ``Session.shard(n).resume()`` are the front doors.
 
 Reproducibility contract: every random draw anywhere in the engine comes
 from a per-run ``random.Random`` seeded by the spec; the global ``random``
@@ -50,6 +57,18 @@ from repro.engine.campaign import (
     CampaignResult,
     builtin_campaign,
     load_campaign,
+)
+from repro.engine.shard import (
+    MANIFEST_VERSION,
+    JsonlStreamWriter,
+    ShardManifest,
+    load_partial_records,
+    manifest_path,
+    merge_shards,
+    shard_done_path,
+    shard_of,
+    shard_specs,
+    shard_stream_path,
 )
 
 
@@ -87,4 +106,14 @@ __all__ = [
     "CampaignResult",
     "builtin_campaign",
     "load_campaign",
+    "MANIFEST_VERSION",
+    "JsonlStreamWriter",
+    "ShardManifest",
+    "load_partial_records",
+    "manifest_path",
+    "merge_shards",
+    "shard_done_path",
+    "shard_of",
+    "shard_specs",
+    "shard_stream_path",
 ]

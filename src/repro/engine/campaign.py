@@ -14,6 +14,11 @@ blocks.  :meth:`Campaign.run`:
    ``<results_dir>/<name>.jsonl`` — one JSON object per line with
    ``spec`` / ``result`` / ``timing`` sections, ``sort_keys`` so the bytes
    are stable (the determinism test strips only ``timing`` and ``cached``).
+   Each line is flushed and fsynced as it lands, so a crash tears at most
+   the final line; every persisted run also writes the checkpoint manifest
+   from :mod:`repro.engine.shard`, making it resumable
+   (``run(resume=True)``) and shardable (``run(shards=n, shard_index=i)``
+   plus ``python -m repro merge``).
 
 Campaign specs are plain JSON (see :func:`load_campaign`)::
 
@@ -37,11 +42,22 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import registry
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ShardError
 from repro.model.referee import monotonic_clock
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.faults import FaultSpec
 from repro.engine.scenario import RunRecord, RunSpec, Scenario, execute_run
+from repro.engine.shard import (
+    JsonlStreamWriter,
+    ShardManifest,
+    atomic_write_jsonl,
+    load_partial_records,
+    merge_shards,
+    shard_done_path,
+    shard_specs,
+    shard_stream_path,
+    write_done_marker,
+)
 
 __all__ = [
     "Campaign",
@@ -72,6 +88,12 @@ class CampaignResult:
     cache_misses: int
     executor_kind: str
     wall_seconds: float
+    #: Shard geometry when the run was sharded (``None`` = monolithic).
+    shards: int | None = None
+    #: The one shard this result covers (``None`` = all of them).
+    shard_index: int | None = None
+    #: Records replayed from a durable partial stream on ``resume=True``.
+    resumed: int = 0
 
     @property
     def ok(self) -> int:
@@ -84,7 +106,7 @@ class CampaignResult:
         for r in self.records:
             statuses[r.status] = statuses.get(r.status, 0) + 1
         exact = [r.exact for r in self.records if r.exact is not None]
-        return {
+        out = {
             "campaign": self.name,
             "runs": len(self.records),
             "statuses": statuses,
@@ -96,6 +118,12 @@ class CampaignResult:
             "wall_seconds": round(self.wall_seconds, 3),
             "jsonl": str(self.jsonl_path) if self.jsonl_path else None,
         }
+        if self.shards is not None:
+            out["shards"] = self.shards
+            out["shard_index"] = self.shard_index
+        if self.resumed:
+            out["resumed"] = self.resumed
+        return out
 
 
 class Campaign:
@@ -180,36 +208,211 @@ class Campaign:
     # running
     # ------------------------------------------------------------------ #
 
-    def run(self, executor: Executor | None = None) -> CampaignResult:
-        """Execute the whole grid and persist the JSONL record stream."""
+    def _run_stream(
+        self,
+        specs: list[RunSpec],
+        executor: Executor,
+        stream_path: pathlib.Path | None,
+        *,
+        resume: bool = False,
+    ) -> tuple[list[RunRecord], int, int, int]:
+        """Execute ``specs`` in order, making each record durable as it lands.
+
+        Records are streamed to ``stream_path`` through
+        :class:`~repro.engine.shard.JsonlStreamWriter` (flush + fsync per
+        line, so a crash tears at most the final line).  With ``resume``,
+        every durable record of an interrupted stream whose spec is still
+        in the grid is replayed instead of re-executed — matched by
+        content hash, so completed work survives scenario reordering and
+        grid edits, not just a clean kill.  A torn tail is truncated and
+        its spec re-run.  New records always *append* (durability is never
+        traded away mid-run); if replay found the stream out of grid order
+        or holding stale specs, the finished stream is rewritten
+        canonically in one atomic replace at the end.
+
+        Returns ``(records, cache_hits, cache_misses, resumed)``.
+        """
+        order = [s.content_hash() for s in specs]
+        durable: dict[str, RunRecord] = {}
+        canonical = True  # does the on-disk stream equal canonical order?
+        if resume and stream_path is not None:
+            loaded, _torn, good_bytes = load_partial_records(stream_path)
+            current = set(order)
+            kept: list[str] = []
+            for record in loaded:
+                h = record.spec.content_hash()
+                if h in current:  # stale specs (grid edits) are dropped
+                    durable[h] = record
+                    kept.append(h)
+            canonical = (
+                len(kept) == len(loaded) and kept == order[: len(kept)]
+            )
+            # Drop any torn tail so appended records start on a clean line.
+            if stream_path.exists() and stream_path.stat().st_size > good_bytes:
+                with stream_path.open("rb+") as fh:
+                    fh.truncate(good_bytes)
+            # Replayed records keep their original payload; restamp the
+            # requesting spec so provenance matches this campaign (the
+            # content hash is identical either way).
+            by_hash = {h: s for h, s in zip(order, specs)}
+            for h, record in durable.items():
+                record.spec = by_hash[h]
+
+        pending = [s for s, h in zip(specs, order) if h not in durable]
+        slots: list[RunRecord | None] = [self._cache_load(s) for s in pending]
+        misses = [s for s, r in zip(pending, slots) if r is None]
+        miss_iter = executor.imap(execute_run, misses)
+
+        writer = None
+        if stream_path is not None:
+            writer = JsonlStreamWriter(stream_path, append=resume)
+        try:
+            for spec, record in zip(pending, slots):
+                if record is None:
+                    record = next(miss_iter)
+                    self._cache_store(record)
+                durable[spec.content_hash()] = record
+                if writer is not None:
+                    writer.write(record.to_json_dict())
+        finally:
+            if writer is not None:
+                writer.close()
+
+        records = [durable[h] for h in order]
+        if stream_path is not None and not canonical:
+            # Reordered/edited grid: impose canonical order atomically now
+            # that every record is durable in the append-ordered stream.
+            atomic_write_jsonl(
+                stream_path, (r.to_json_dict() for r in records)
+            )
+        return records, len(pending) - len(misses), len(misses), len(durable) - len(pending)
+
+    def run(
+        self,
+        executor: Executor | None = None,
+        *,
+        shards: int | None = None,
+        shard_index: int | None = None,
+        resume: bool = False,
+    ) -> CampaignResult:
+        """Execute the grid (or one shard of it) and persist JSONL records.
+
+        Parameters
+        ----------
+        shards:
+            Split the deduplicated grid into this many shards by spec
+            content hash (:func:`~repro.engine.shard.shard_of`).  ``None``
+            keeps the monolithic single-file layout.
+        shard_index:
+            Run only this shard, streaming to
+            ``<name>.shard-<i>-of-<n>.jsonl`` plus an atomic completion
+            mark.  ``None`` with ``shards`` set runs every shard in this
+            process and merges them into the canonical ``<name>.jsonl``.
+        resume:
+            Replay the durable records of an interrupted stream and
+            execute only what is missing.  Requires the checkpoint
+            manifest written by the interrupted run; a manifest whose
+            ``SPEC_VERSION``, campaign name, or shard count no longer
+            matches is refused with an actionable
+            :class:`~repro.errors.ShardError`.  Grid edits and scenario
+            reordering are tolerated: records are matched by spec content
+            hash, stale ones dropped, and the stream rewritten in
+            canonical order if it drifted.
+
+        Every persisted run (sharded or not) writes
+        ``<results_dir>/<name>.manifest.json`` atomically, so any
+        interrupted campaign can be resumed.
+        """
         t0 = monotonic_clock()
         executor = executor or SerialExecutor()
+        if shards is None and shard_index is not None:
+            raise ShardError("shard_index requires shards")
+        if shards is not None:
+            if shards < 1:
+                raise ShardError(f"shards must be >= 1, got {shards}")
+            if shard_index is not None and not 0 <= shard_index < shards:
+                raise ShardError(
+                    f"shard index {shard_index} out of range for {shards} "
+                    "shard(s) (valid: 0.."
+                    f"{shards - 1})"
+                )
+        if (shards is not None or resume) and self.results_dir is None:
+            raise ShardError(
+                "sharded or resumed campaigns need a results_dir "
+                "(durable streams and the checkpoint manifest live there)"
+            )
         specs = self.specs()
 
-        slots: list[RunRecord | None] = [self._cache_load(s) for s in specs]
-        misses = [(i, s) for i, (s, r) in enumerate(zip(specs, slots)) if r is None]
-        fresh = executor.map(execute_run, [s for _, s in misses]) if misses else []
-        for (i, _), record in zip(misses, fresh):
-            self._cache_store(record)
-            slots[i] = record
-        records = [r for r in slots if r is not None]
-
-        jsonl_path = None
+        manifest = None
         if self.results_dir is not None:
             self.results_dir.mkdir(parents=True, exist_ok=True)
-            jsonl_path = self.results_dir / f"{self.name}.jsonl"
-            with jsonl_path.open("w") as fh:
-                for record in records:
-                    fh.write(json.dumps(record.to_json_dict(), sort_keys=True) + "\n")
+            n_shards = 1 if shards is None else shards
+            if resume:
+                ShardManifest.load(self.results_dir, self.name).validate_for(
+                    self.name, n_shards
+                )
+            manifest = ShardManifest.from_specs(self.name, specs, n_shards)
+            manifest.write(self.results_dir)
 
+        if shards is None:
+            stream = (
+                self.results_dir / f"{self.name}.jsonl"
+                if self.results_dir is not None else None
+            )
+            records, hits, misses, resumed = self._run_stream(
+                specs, executor, stream, resume=resume
+            )
+            return CampaignResult(
+                name=self.name,
+                records=records,
+                jsonl_path=stream,
+                cache_hits=hits,
+                cache_misses=misses,
+                executor_kind=executor.kind,
+                wall_seconds=monotonic_clock() - t0,
+                resumed=resumed,
+            )
+
+        per_shard = shard_specs(specs, shards)
+        indices = [shard_index] if shard_index is not None else list(range(shards))
+        records: list[RunRecord] = []
+        hits = misses = resumed = 0
+        stream = None
+        for i in indices:
+            stream = shard_stream_path(self.results_dir, self.name, i, shards)
+            # A stale mark must not claim completion while the shard reruns.
+            shard_done_path(self.results_dir, self.name, i, shards).unlink(
+                missing_ok=True
+            )
+            recs, h, m, r = self._run_stream(
+                per_shard[i], executor, stream, resume=resume
+            )
+            write_done_marker(
+                self.results_dir, self.name, i, shards, records=len(recs)
+            )
+            records += recs
+            hits, misses, resumed = hits + h, misses + m, resumed + r
+        manifest.write(self.results_dir)  # refresh the completion snapshot
+
+        if shard_index is None:
+            # All shards ran here: publish the canonical merged file and
+            # hand records back in deduplicated grid order.
+            jsonl_path, _count = merge_shards(self.results_dir, self.name)
+            by_hash = {rec.spec.content_hash(): rec for rec in records}
+            records = [by_hash[h] for h in manifest.spec_hashes]
+        else:
+            jsonl_path = stream
         return CampaignResult(
             name=self.name,
             records=records,
             jsonl_path=jsonl_path,
-            cache_hits=len(specs) - len(misses),
-            cache_misses=len(misses),
+            cache_hits=hits,
+            cache_misses=misses,
             executor_kind=executor.kind,
             wall_seconds=monotonic_clock() - t0,
+            shards=shards,
+            shard_index=shard_index,
+            resumed=resumed,
         )
 
     # ------------------------------------------------------------------ #

@@ -32,7 +32,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any, TypeVar
 
 from repro.errors import ProtocolError
@@ -96,6 +96,20 @@ class Executor(ABC):
         for pooled backends).
         """
 
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        """Yield results in input order; override to yield as they finish.
+
+        The streaming primitive sharded campaigns build on — with a
+        streaming override, each record can be made durable the moment it
+        exists instead of after the whole batch.  This *base*
+        implementation is a plain ``iter(self.map(...))`` — correct for
+        any subclass but fully eager, so custom executors that want
+        crash-durability mid-batch must override it (all three builtin
+        backends do: the serial backend runs one item per ``next``, the
+        pooled ones submit everything up front and yield lazily).
+        """
+        return iter(self.map(fn, items))
+
     def map_local(
         self, protocol: OneRoundProtocol, g: LabeledGraph, *, batches_per_job: int = 4
     ) -> list[tuple[int, Message]]:
@@ -135,6 +149,11 @@ class SerialExecutor(Executor):
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         return [fn(item) for item in items]
 
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        # Truly lazy: each item runs only when consumed, so a crash while
+        # streaming leaves earlier results durable and later ones unrun.
+        return (fn(item) for item in items)
+
     def map_local(
         self, protocol: OneRoundProtocol, g: LabeledGraph, *, batches_per_job: int = 4
     ) -> list[tuple[int, Message]]:
@@ -160,6 +179,11 @@ class _PooledExecutor(Executor):
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         return list(self._ensure_pool().map(fn, items))
+
+    def imap(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        # concurrent.futures submits everything eagerly and yields in
+        # input order as results complete — lazy consumption, full fan-out.
+        return self._ensure_pool().map(fn, items)
 
     def close(self) -> None:
         if self._pool is not None:

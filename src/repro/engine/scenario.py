@@ -251,13 +251,22 @@ class RunSpec:
         (or two campaigns) sweeping the same (family, n, seed, protocol,
         params, referee options) grid must share cache entries and
         deduplicate, which is the whole point of the content hash.
+
+        Memoized on the (frozen) instance: the shard orchestration path
+        hashes every spec several times per run — dedup, shard
+        assignment, the manifest, stream replay, merge ownership.
         """
+        cached = self.__dict__.get("_content_hash")
+        if cached is not None:
+            return cached
         physical = self.to_dict()
         physical.pop("scenario")
         payload = json.dumps(
             {"v": SPEC_VERSION, "spec": physical}, sort_keys=True, separators=(",", ":")
         )
-        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:24]
+        object.__setattr__(self, "_content_hash", digest)
+        return digest
 
 
 def output_digest(output: Any) -> tuple[str, str]:

@@ -1,0 +1,570 @@
+"""Sharded, checkpointed campaign execution: split, stream, mark, merge.
+
+A :class:`~repro.engine.campaign.Campaign` is embarrassingly parallel
+across runs, but until this module a campaign was a single monolithic
+fan-out: kill a 10k-run sweep at run 9,999 and everything re-executes,
+and there is no way to split one campaign across worker processes,
+machines, or CI matrix jobs.  This module adds the four pieces that fix
+that, each crash-consistent on its own:
+
+**Deterministic sharding** — :func:`shard_of` assigns every deduplicated
+:class:`~repro.engine.scenario.RunSpec` to one of ``n`` shards by its
+*content hash*, never by its position in the grid.  Assignment is a
+partition (disjoint and covering, by construction) and is stable under
+scenario reordering and grid edits: adding a scenario never moves an
+existing spec to a different shard, so completed shard streams stay
+valid.
+
+**The checkpoint manifest** — ``<results_dir>/<name>.manifest.json``
+records the campaign name, shard count, the engine
+:data:`~repro.engine.scenario.SPEC_VERSION`, and the full ordered list of
+spec content hashes.  Concurrent shard workers are safe because every
+write is atomic (temp file + ``os.replace``) and every field workers
+disagree on is advisory: the ``completed`` key is a point-in-time
+snapshot of the per-shard done markers (which stay authoritative), while
+the identity fields are identical across workers of the same grid.  On
+``resume`` the manifest is the contract — a stale ``SPEC_VERSION``,
+renamed campaign, or changed shard count is refused with an actionable
+message instead of silently mixing semantics.  An *edited grid* is not an
+error: hash-based membership means surviving specs replay from the
+streams, stale records are dropped, and the manifest is rewritten.
+
+**Incremental per-shard streaming** — each shard appends finished records
+to ``<name>.shard-<i>-of-<n>.jsonl`` through :class:`JsonlStreamWriter`,
+which flushes *and fsyncs* after every line.  A crash can therefore tear
+at most the final line; :func:`load_partial_records` detects a torn tail,
+drops it, and reports it so ``resume`` re-runs exactly that spec.  When a
+shard finishes, :func:`write_done_marker` atomically publishes
+``<name>.shard-<i>-of-<n>.done`` with the record count — the completion
+mark :func:`merge_shards` trusts.
+
+**Merge** — :func:`merge_shards` verifies every shard's done marker and
+record set against the manifest, then reassembles the canonical
+``<name>.jsonl`` in manifest (= deterministic spec) order.  The merged
+bytes equal a single-process run's output modulo the ``timing`` and
+``cached`` sidecars, which is the invariant the crash/resume test battery
+pins.
+
+Crash-consistency invariants (DESIGN.md §7):
+
+1. every durable artifact is either absent, complete, or — for shard
+   streams only — torn in its final line;
+2. the manifest and done markers only ever appear atomically;
+3. resume never re-executes a spec whose record is durable, and always
+   re-executes a spec whose record is absent or torn;
+4. shard membership is a pure function of ``(spec content hash, n)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ShardError, ShardIncomplete
+from repro.engine.scenario import SPEC_VERSION, RunRecord, RunSpec
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "shard_of",
+    "shard_specs",
+    "manifest_path",
+    "shard_stream_path",
+    "shard_done_path",
+    "ShardManifest",
+    "JsonlStreamWriter",
+    "atomic_write_jsonl",
+    "load_partial_records",
+    "write_done_marker",
+    "read_done_marker",
+    "merge_shards",
+]
+
+#: Bumped whenever the manifest schema changes; a manifest from a newer
+#: engine is refused rather than misread.
+MANIFEST_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# deterministic shard assignment
+# --------------------------------------------------------------------- #
+
+
+def shard_of(spec_hash: str, shards: int) -> int:
+    """The shard owning ``spec_hash``, out of ``shards``.
+
+    A pure function of the content hash — never of grid position — so
+    membership survives scenario reordering and grid edits, and any two
+    workers agree without coordination.
+    """
+    if shards < 1:
+        raise ShardError(f"shards must be >= 1, got {shards}")
+    return int(spec_hash[:16], 16) % shards
+
+
+def shard_specs(specs: Sequence[RunSpec], shards: int) -> list[list[RunSpec]]:
+    """Partition ``specs`` into ``shards`` ordered sub-lists.
+
+    Disjoint and covering by construction; each sub-list preserves the
+    deduplicated grid order, so per-shard streams are themselves
+    deterministic.
+    """
+    out: list[list[RunSpec]] = [[] for _ in range(max(1, shards))]
+    for spec in specs:
+        out[shard_of(spec.content_hash(), shards)].append(spec)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# paths
+# --------------------------------------------------------------------- #
+
+
+def manifest_path(results_dir: str | pathlib.Path, name: str) -> pathlib.Path:
+    """``<results_dir>/<name>.manifest.json``."""
+    return pathlib.Path(results_dir) / f"{name}.manifest.json"
+
+
+def shard_stream_path(
+    results_dir: str | pathlib.Path, name: str, index: int, shards: int
+) -> pathlib.Path:
+    """``<results_dir>/<name>.shard-<i>-of-<n>.jsonl``."""
+    return pathlib.Path(results_dir) / f"{name}.shard-{index}-of-{shards}.jsonl"
+
+
+def shard_done_path(
+    results_dir: str | pathlib.Path, name: str, index: int, shards: int
+) -> pathlib.Path:
+    """The atomic completion mark next to one shard's stream."""
+    return pathlib.Path(results_dir) / f"{name}.shard-{index}-of-{shards}.done"
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` durably: temp file in the same directory, fsync, rename.
+
+    ``os.replace`` is atomic on POSIX, so readers only ever observe the
+    old bytes or the new bytes — never a torn file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _atomic_write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
+    """Atomically publish one JSON document (manifest / done marker)."""
+    _atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2))
+
+
+def atomic_write_jsonl(
+    path: pathlib.Path, records: Iterable[Mapping[str, Any]]
+) -> None:
+    """Atomically publish a whole JSONL file in canonical line form.
+
+    The complement of :class:`JsonlStreamWriter`: streams trade atomicity
+    for incremental durability while a campaign runs; finished artifacts
+    (the merged canonical JSONL, a canonical rewrite after a reordered
+    resume) appear all-or-nothing so a crash can never publish a
+    truncated file that reads as complete.
+    """
+    text = "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    _atomic_write_text(path, text)
+
+
+# --------------------------------------------------------------------- #
+# the checkpoint manifest
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardManifest:
+    """The durable contract for one sharded (or resumable) campaign.
+
+    Records *what* the campaign is — name, shard count, engine
+    :data:`~repro.engine.scenario.SPEC_VERSION`, and the ordered spec
+    content hashes — so a resume or a merge can refuse anything that no
+    longer matches.  Completion state lives in the per-shard ``.done``
+    markers (atomic, single-writer); :meth:`completion` reads them, and
+    the copy under the ``"completed"`` key here is a convenience snapshot,
+    refreshed opportunistically, never authoritative.
+    """
+
+    campaign: str
+    shards: int
+    spec_hashes: list[str]
+    spec_version: int = SPEC_VERSION
+    manifest_version: int = MANIFEST_VERSION
+
+    @classmethod
+    def from_specs(
+        cls, campaign: str, specs: Sequence[RunSpec], shards: int
+    ) -> "ShardManifest":
+        """Build the manifest for a deduplicated grid."""
+        if shards < 1:
+            raise ShardError(f"shards must be >= 1, got {shards}")
+        return cls(
+            campaign=campaign,
+            shards=shards,
+            spec_hashes=[s.content_hash() for s in specs],
+        )
+
+    def assignments(self) -> dict[str, int]:
+        """``spec hash -> owning shard`` for the whole grid."""
+        return {h: shard_of(h, self.shards) for h in self.spec_hashes}
+
+    def shard_hashes(self, index: int) -> list[str]:
+        """The hashes one shard owns, in deterministic grid order."""
+        if not 0 <= index < self.shards:
+            raise ShardError(
+                f"shard index {index} out of range for {self.shards} shard(s)"
+            )
+        return [h for h in self.spec_hashes if shard_of(h, self.shards) == index]
+
+    def completion(self, results_dir: str | pathlib.Path) -> list[bool]:
+        """Per-shard completion, read from the authoritative done markers."""
+        return [
+            shard_done_path(results_dir, self.campaign, i, self.shards).exists()
+            for i in range(self.shards)
+        ]
+
+    def to_dict(self, *, completed: Sequence[bool] | None = None) -> dict:
+        """JSON object form (inverse of :meth:`from_dict`)."""
+        return {
+            "manifest_version": self.manifest_version,
+            "spec_version": self.spec_version,
+            "campaign": self.campaign,
+            "shards": self.shards,
+            "spec_hashes": list(self.spec_hashes),
+            "completed": list(completed) if completed is not None
+            else [False] * self.shards,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any], *, where: str = "manifest") -> "ShardManifest":
+        """Rebuild from JSON; refuses schemas newer than this engine."""
+        for key in ("manifest_version", "spec_version", "campaign", "shards",
+                    "spec_hashes"):
+            if key not in d:
+                raise ShardError(f"{where}: missing key {key!r}")
+        if d["manifest_version"] > MANIFEST_VERSION:
+            raise ShardError(
+                f"{where}: manifest_version {d['manifest_version']} is newer "
+                f"than this engine (understands <= {MANIFEST_VERSION})"
+            )
+        return cls(
+            campaign=str(d["campaign"]),
+            shards=int(d["shards"]),
+            spec_hashes=[str(h) for h in d["spec_hashes"]],
+            spec_version=int(d["spec_version"]),
+            manifest_version=int(d["manifest_version"]),
+        )
+
+    def write(self, results_dir: str | pathlib.Path) -> pathlib.Path:
+        """Atomically publish the manifest (with a completion snapshot)."""
+        path = manifest_path(results_dir, self.campaign)
+        _atomic_write_json(path, self.to_dict(completed=self.completion(results_dir)))
+        return path
+
+    @classmethod
+    def load(cls, results_dir: str | pathlib.Path, name: str) -> "ShardManifest":
+        """Load ``<results_dir>/<name>.manifest.json`` or raise ShardError."""
+        path = manifest_path(results_dir, name)
+        if not path.exists():
+            raise ShardError(
+                f"no checkpoint manifest at {path}; run the campaign without "
+                "--resume first (it writes the manifest), or check --results-dir"
+            )
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ShardError(f"{path} is not valid JSON: {exc}") from None
+        if not isinstance(raw, dict):
+            raise ShardError(f"{path} must hold a JSON object")
+        return cls.from_dict(raw, where=str(path))
+
+    def validate_for(self, campaign: str, shards: int) -> None:
+        """Refuse to resume against a manifest that no longer matches.
+
+        Checks, in order of loudness: engine :data:`SPEC_VERSION` (a stale
+        manifest means the record semantics changed under the checkpoint),
+        campaign name, and shard count (streams are per-count files).
+        Each failure names the fix: re-run without ``resume`` (or delete
+        the manifest) to restart the campaign from scratch.
+
+        A *grid edit* is deliberately NOT a failure: shard membership is a
+        pure function of the spec content hash, so completed stream
+        records for surviving specs replay as-is — stale records are
+        dropped and new specs executed.  The manifest is rewritten to the
+        current grid before the run proceeds.
+        """
+        hint = (f"re-run without --resume (or delete "
+                f"{manifest_path('<results_dir>', self.campaign).name}) to "
+                "restart the campaign from scratch")
+        if self.spec_version != SPEC_VERSION:
+            raise ShardError(
+                f"checkpoint manifest for {self.campaign!r} was written at "
+                f"SPEC_VERSION {self.spec_version}, but this engine is at "
+                f"SPEC_VERSION {SPEC_VERSION}; its records are not comparable "
+                f"— {hint}"
+            )
+        if self.campaign != campaign:
+            raise ShardError(
+                f"checkpoint manifest names campaign {self.campaign!r}, "
+                f"not {campaign!r} — {hint}"
+            )
+        if self.shards != shards:
+            raise ShardError(
+                f"campaign {campaign!r} was checkpointed with "
+                f"{self.shards} shard(s) but is being resumed with {shards}; "
+                f"shard streams are per-count — {hint}"
+            )
+
+
+# --------------------------------------------------------------------- #
+# durable JSONL streaming and torn-line-tolerant loading
+# --------------------------------------------------------------------- #
+
+
+class JsonlStreamWriter:
+    """Append JSONL records durably: one line, one flush, one fsync.
+
+    The fsync-per-record discipline bounds crash damage to *at most one
+    torn final line* — the invariant :func:`load_partial_records` (and
+    therefore resume) relies on.  Use as a context manager.
+    """
+
+    def __init__(self, path: str | pathlib.Path, *, append: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a" if append else "w")
+        self.written = 0
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        """Durably append one canonical (sorted-keys) record line."""
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def load_partial_records(
+    path: str | pathlib.Path,
+) -> tuple[list[RunRecord], int, int]:
+    """Load a possibly-interrupted shard stream; tolerate a torn tail.
+
+    Returns ``(records, torn, good_bytes)``: the cleanly-recovered
+    records, how many trailing torn lines were dropped (0 or 1), and the
+    byte offset just past the last good line — the truncation point a
+    resume uses so appended records start on a clean line.
+
+    Because :class:`JsonlStreamWriter` fsyncs per line, only the *final*
+    line can be incomplete after a crash; a record counts only when its
+    line is newline-terminated **and** parses (a terminator-less tail is
+    re-run rather than trusted — recomputation is deterministic, so only
+    the ``timing`` sidecar can differ).  A malformed line anywhere but the
+    tail means real corruption and raises
+    :class:`~repro.errors.ShardError` instead of silently skipping data.
+    A missing file is an empty stream.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [], 0, 0
+    data = path.read_bytes()
+    # JSON is dumped with ensure_ascii, so byte and character offsets agree.
+    lines = data.split(b"\n")  # a clean file ends with one b"" element
+    records: list[RunRecord] = []
+    good_bytes = 0
+    for i, raw in enumerate(lines):
+        terminated = i < len(lines) - 1
+        if not raw.strip():
+            if terminated:
+                good_bytes += len(raw) + 1
+            continue
+        parsed: RunRecord | None = None
+        try:
+            parsed = RunRecord.from_json_dict(json.loads(raw.decode()))
+        except (ValueError, KeyError, TypeError):
+            parsed = None
+        if parsed is None or not terminated:
+            tail = all(not rest.strip() for rest in lines[i + 1:])
+            if tail:
+                return records, 1, good_bytes  # the one tear fsync allows
+            raise ShardError(
+                f"{path.name}:{i + 1}: corrupt record mid-stream; only the "
+                "final line can be torn — delete the shard stream to "
+                "recompute it"
+            )
+        records.append(parsed)
+        good_bytes += len(raw) + 1
+    return records, 0, good_bytes
+
+
+# --------------------------------------------------------------------- #
+# completion marks
+# --------------------------------------------------------------------- #
+
+
+def write_done_marker(
+    results_dir: str | pathlib.Path,
+    name: str,
+    index: int,
+    shards: int,
+    *,
+    records: int,
+) -> pathlib.Path:
+    """Atomically publish one shard's completion mark (record count inside)."""
+    path = shard_done_path(results_dir, name, index, shards)
+    _atomic_write_json(path, {
+        "campaign": name,
+        "shard": index,
+        "shards": shards,
+        "records": records,
+        "spec_version": SPEC_VERSION,
+    })
+    return path
+
+
+def read_done_marker(
+    results_dir: str | pathlib.Path, name: str, index: int, shards: int
+) -> dict | None:
+    """The completion mark's payload, or ``None`` while the shard runs."""
+    path = shard_done_path(results_dir, name, index, shards)
+    if not path.exists():
+        return None
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ShardError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(raw, dict):
+        raise ShardError(f"{path} must hold a JSON object")
+    return raw
+
+
+# --------------------------------------------------------------------- #
+# merge
+# --------------------------------------------------------------------- #
+
+
+def merge_shards(
+    results_dir: str | pathlib.Path, name: str
+) -> tuple[pathlib.Path, int]:
+    """Reassemble shard streams into the canonical ``<name>.jsonl``.
+
+    Verifies every shard against the manifest before writing a byte:
+    each shard must carry a done marker, its stream must parse cleanly
+    (an incomplete shard shows up as a missing marker, a torn line, or a
+    missing spec), the marker's record count must match, and the union of
+    streams must cover the manifest's spec-hash list exactly.  Records
+    are then emitted in manifest order — the same deduplicated grid order
+    a single-process run uses — so the merged file is byte-stable modulo
+    the ``timing``/``cached`` sidecars.
+
+    A monolithic (``shards=1``, no shard index) campaign has no
+    shard-layout stream or marker — its canonical ``<name>.jsonl`` *is*
+    the stream.  Merging one verifies grid coverage and rewrites the file
+    canonically, so ``repro merge`` succeeds uniformly on anything a
+    manifest describes (an incomplete monolithic stream is
+    :class:`~repro.errors.ShardIncomplete`, fixed by ``--resume``).
+
+    Returns ``(path, records)``.
+    """
+    results_dir = pathlib.Path(results_dir)
+    manifest = ShardManifest.load(results_dir, name)
+    if manifest.spec_version != SPEC_VERSION:
+        raise ShardError(
+            f"checkpoint manifest for {name!r} was written at SPEC_VERSION "
+            f"{manifest.spec_version}, but this engine is at SPEC_VERSION "
+            f"{SPEC_VERSION}; re-run the campaign to refresh its shards"
+        )
+
+    out_path = results_dir / f"{name}.jsonl"
+    by_hash: dict[str, RunRecord] = {}
+    for index in range(manifest.shards):
+        marker = read_done_marker(results_dir, name, index, manifest.shards)
+        stream = shard_stream_path(results_dir, name, index, manifest.shards)
+        if (marker is None and manifest.shards == 1 and not stream.exists()
+                and out_path.exists()):
+            # Monolithic layout: the canonical file *is* the one shard's
+            # stream, and "complete" means it cleanly covers the grid —
+            # there is no separate marker to demand.  Merging it is a
+            # verify + canonical no-op, so `repro merge` works uniformly.
+            records, torn, _good = load_partial_records(out_path)
+            if torn or {r.spec.content_hash() for r in records} != set(
+                    manifest.spec_hashes):
+                raise ShardIncomplete(
+                    f"campaign {name!r} has an incomplete monolithic stream "
+                    f"({len(records)}/{len(manifest.spec_hashes)} records"
+                    f"{', torn tail' if torn else ''}); resume it "
+                    "(campaign ... --resume) before merging"
+                )
+            for record in records:
+                by_hash[record.spec.content_hash()] = record
+            continue
+        if marker is None:
+            raise ShardIncomplete(
+                f"shard {index}/{manifest.shards} of {name!r} has no "
+                "completion mark; run it (or resume it) before merging"
+            )
+        records, torn, _good = load_partial_records(stream)
+        if torn:
+            raise ShardIncomplete(
+                f"shard {index}/{manifest.shards} of {name!r} has a torn "
+                f"final line in {stream.name} despite a completion mark; "
+                "resume that shard before merging"
+            )
+        if marker.get("records") != len(records):
+            raise ShardIncomplete(
+                f"shard {index}/{manifest.shards} of {name!r} marks "
+                f"{marker.get('records')} record(s) complete but its stream "
+                f"holds {len(records)}; resume that shard before merging"
+            )
+        expected = set(manifest.shard_hashes(index))
+        for record in records:
+            h = record.spec.content_hash()
+            if h not in expected:
+                raise ShardError(
+                    f"shard {index}/{manifest.shards} of {name!r} holds a "
+                    f"record for spec {h} it does not own (grid edit without "
+                    "a manifest refresh?); re-run the campaign"
+                )
+            by_hash[h] = record
+
+    missing = [h for h in manifest.spec_hashes if h not in by_hash]
+    if missing:
+        raise ShardIncomplete(
+            f"merge of {name!r}: {len(missing)} spec(s) have no record "
+            f"(first missing: {missing[0]}); resume the owning shard(s) "
+            "before merging"
+        )
+
+    # All-or-nothing: a crash mid-merge must not publish a truncated
+    # canonical file that downstream readers would take as complete.
+    atomic_write_jsonl(
+        out_path, (by_hash[h].to_json_dict() for h in manifest.spec_hashes)
+    )
+    manifest.write(results_dir)  # refresh the completion snapshot
+    return out_path, len(manifest.spec_hashes)

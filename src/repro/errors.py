@@ -27,6 +27,8 @@ __all__ = [
     "SchemaError",
     "BaselineError",
     "BenchError",
+    "ShardError",
+    "ShardIncomplete",
 ]
 
 
@@ -146,3 +148,23 @@ class BaselineError(ResultsError):
 class BenchError(ReproError):
     """Raised by the benchmark harness (:mod:`repro.bench`) on bad suite
     arguments or a missing/malformed bench baseline."""
+
+
+class ShardError(ProtocolError):
+    """Raised by :mod:`repro.engine.shard` on invalid shard arguments, a
+    missing/stale/mismatched checkpoint manifest, or an unmergeable shard
+    set (incomplete or corrupt shard streams).
+
+    Subclasses :class:`ProtocolError` so callers that already guard
+    campaign execution with ``except ProtocolError`` (or ``ReproError``)
+    keep working.
+    """
+
+
+class ShardIncomplete(ShardError):
+    """A merge was attempted before every shard finished.
+
+    Distinct from :class:`ShardError` so the CLI can map "not ready yet —
+    run or resume the named shard" to exit code 1 (a gate-style failure)
+    rather than 2 (a usage error).
+    """

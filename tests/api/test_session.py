@@ -188,3 +188,46 @@ class TestFailFast:
             Session().graphs("path", n="64")   # would silently mean (6, 4)
         with pytest.raises(ProtocolError, match="string"):
             Session().graphs("path", n=8, seeds="12")
+
+
+class TestShardAndResume:
+    def test_sharded_session_merges_to_identical_records(self, tmp_path):
+        mono = _base().persist(tmp_path / "mono", use_cache=False).run()
+        sharded = (_base().persist(tmp_path / "sh", use_cache=False)
+                   .shard(3).run())
+        assert _strip(sharded.records) == _strip(mono.records)
+        assert sharded.result.jsonl_path.name == "t.jsonl"
+
+    def test_single_shard_worker_covers_only_its_slice(self, tmp_path):
+        full = _base().persist(tmp_path / "a", use_cache=False).shard(2).run()
+        worker = (_base().persist(tmp_path / "b", use_cache=False)
+                  .shard(2, index=0).run())
+        assert 0 < len(worker.records) < len(full.records)
+        assert worker.result.shard_index == 0
+        assert worker.result.jsonl_path.name == "t.shard-0-of-2.jsonl"
+
+    def test_resume_replays_a_complete_session(self, tmp_path):
+        session = _base().persist(tmp_path, use_cache=False)
+        cold = session.run()
+        warm = session.resume().run()
+        assert warm.result.resumed == len(cold.records)
+        assert warm.result.cache_misses == 0
+        assert _strip(warm.records) == _strip(cold.records)
+
+    def test_shard_validation_fails_at_chain_time(self):
+        with pytest.raises(ProtocolError, match="shards must be >= 1"):
+            Session().shard(0)
+        with pytest.raises(ProtocolError, match="out of range"):
+            Session().shard(2, index=2)
+
+    def test_shard_without_persist_fails_at_run_time(self):
+        with pytest.raises(ProtocolError, match="results_dir"):
+            _base().shard(2).run()
+
+    def test_copy_on_write_shard_does_not_leak(self, tmp_path):
+        base = _base().persist(tmp_path, use_cache=False)
+        sharded = base.shard(2)
+        assert base._shards is None  # the prefix is untouched
+        assert sharded._shards == 2
+        resumed = sharded.resume()
+        assert not sharded._resume and resumed._resume

@@ -1,0 +1,149 @@
+"""CLI shard/resume/merge surface: exit codes, torn-line regression, parity.
+
+Mirrors the PR 2 exit-code conventions: 0 success, 1 gate-style failure
+(``merge`` before every shard finished — retryable), 2 usage error (bad
+shard geometry, ``--resume`` without a manifest, a stale ``SPEC_VERSION``
+manifest).  Errors are messages, never tracebacks.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import ShardManifest, builtin_campaign, manifest_path
+
+
+def _strip(jsonl_text):
+    out = []
+    for line in jsonl_text.splitlines():
+        d = json.loads(line)
+        d.pop("timing")
+        d.pop("cached")
+        out.append(json.dumps(d, sort_keys=True))
+    return out
+
+
+class TestUsageErrors:
+    def test_shard_index_out_of_range(self, tmp_path, capsys):
+        code = main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--shards", "3", "--shard-index", "3"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "out of range" in err
+        assert "Traceback" not in err
+
+    def test_negative_shard_index(self, tmp_path, capsys):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--shards", "2", "--shard-index", "-1"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_shard_index_without_shards(self, tmp_path, capsys):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--shard-index", "0"]) == 2
+        assert "shard_index requires shards" in capsys.readouterr().err
+
+    def test_zero_shards(self, tmp_path, capsys):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--shards", "0"]) == 2
+        assert "shards must be >= 1" in capsys.readouterr().err
+
+    def test_resume_with_missing_manifest(self, tmp_path, capsys):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "no checkpoint manifest" in err
+        assert "without --resume" in err  # the fix is named
+
+    def test_resume_against_stale_spec_version(self, tmp_path, capsys):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = manifest_path(tmp_path, "smoke")
+        manifest = json.loads(path.read_text())
+        manifest["spec_version"] -= 1  # a manifest from an older engine
+        path.write_text(json.dumps(manifest))
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "SPEC_VERSION" in err
+        assert "restart the campaign" in err  # actionable, not just refused
+
+    def test_merge_with_missing_manifest(self, tmp_path, capsys):
+        assert main(["merge", "ghost", "--results-dir", str(tmp_path)]) == 2
+        assert "no checkpoint manifest" in capsys.readouterr().err
+
+
+class TestMergeGate:
+    def test_merge_before_all_shards_is_exit_1(self, tmp_path, capsys):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--shards", "3", "--shard-index", "0"]) == 0
+        capsys.readouterr()
+        assert main(["merge", "smoke", "--results-dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "not ready" in err
+        assert "shards complete: 1/3" in err
+
+    def test_merge_after_all_shards_is_exit_0(self, tmp_path, capsys):
+        for i in range(3):
+            assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                         "--shards", "3", "--shard-index", str(i)]) == 0
+        capsys.readouterr()
+        assert main(["merge", "smoke", "--results-dir", str(tmp_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 8
+        assert payload["jsonl"].endswith("smoke.jsonl")
+
+
+class TestAcceptance:
+    """The ISSUE acceptance criterion, driven entirely through the CLI."""
+
+    def test_three_shard_merge_equals_single_run(self, tmp_path, capsys):
+        mono_dir, shard_dir = tmp_path / "mono", tmp_path / "sharded"
+        assert main(["campaign", "smoke", "--results-dir", str(mono_dir),
+                     "--no-cache"]) == 0
+        for i in range(3):  # each shard run separately, as CI matrix jobs do
+            assert main(["campaign", "smoke", "--results-dir", str(shard_dir),
+                         "--no-cache", "--shards", "3",
+                         "--shard-index", str(i)]) == 0
+        assert main(["merge", "smoke", "--results-dir", str(shard_dir)]) == 0
+        capsys.readouterr()
+        assert _strip((shard_dir / "smoke.jsonl").read_text()) == \
+               _strip((mono_dir / "smoke.jsonl").read_text())
+
+    def test_torn_final_line_resumed_not_crashed(self, tmp_path, capsys):
+        """Regression: a torn tail is detected and re-run on --resume."""
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--no-cache", "--json"]) == 0
+        clean_lines = _strip((tmp_path / "smoke.jsonl").read_text())
+        stream = tmp_path / "smoke.jsonl"
+        stream.write_bytes(stream.read_bytes()[:-23])  # kill -9 mid-write
+        capsys.readouterr()
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--no-cache", "--resume", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["resumed"] == 7
+        assert summary["cache_misses"] == 1  # only the torn record re-ran
+        assert _strip(stream.read_text()) == clean_lines
+
+    def test_shard_summaries_report_geometry(self, tmp_path, capsys):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--shards", "2", "--shard-index", "1", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shards"] == 2
+        assert summary["shard_index"] == 1
+
+    def test_manifest_completion_snapshot_tracks_markers(self, tmp_path):
+        for i in (0, 2):
+            main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                  "--shards", "3", "--shard-index", str(i)])
+        manifest = ShardManifest.load(tmp_path, "smoke")
+        assert manifest.completion(tmp_path) == [True, False, True]
+
+    def test_builtin_still_runs_unsharded(self, tmp_path, capsys):
+        """The monolithic path is untouched by the new flags."""
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["runs"] == 8
+        assert "shards" not in summary

@@ -1,0 +1,315 @@
+"""repro.engine.shard: assignment determinism, manifest contract, merge.
+
+The load-bearing invariants:
+
+* shard assignment is a *partition* of the deduplicated grid — disjoint
+  and covering for every builtin campaign and every shard count — and is
+  a pure function of the spec content hash, so it survives scenario
+  reordering and grid edits;
+* the checkpoint manifest round-trips, is written atomically, and
+  refuses stale ``SPEC_VERSION`` / edited grids with actionable messages;
+* ``merge`` of *any* shard-count factorization reproduces the 1-shard
+  output hash (modulo the ``timing``/``cached`` sidecars);
+* a torn final stream line is detected and dropped, a torn middle line
+  is corruption and raises.
+"""
+
+import json
+
+import pytest
+
+from repro import registry
+from repro.engine import (
+    Campaign,
+    Scenario,
+    ShardManifest,
+    builtin_campaign,
+    load_partial_records,
+    manifest_path,
+    merge_shards,
+    shard_done_path,
+    shard_of,
+    shard_specs,
+    shard_stream_path,
+)
+from repro.engine.scenario import SPEC_VERSION, execute_run
+from repro.errors import ShardError, ShardIncomplete
+
+
+def _tiny_scenarios():
+    return [
+        Scenario(name="forest", family="random_forest", sizes=(12, 16),
+                 protocol="forest", seeds=(0, 1)),
+        Scenario(name="conn", family="two_components", sizes=(12,),
+                 protocol="agm_connectivity", seeds=(0,)),
+    ]
+
+
+def _strip(jsonl_text):
+    out = []
+    for line in jsonl_text.splitlines():
+        d = json.loads(line)
+        d.pop("timing")
+        d.pop("cached")
+        out.append(json.dumps(d, sort_keys=True))
+    return out
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("name", sorted(registry.CAMPAIGN.names()))
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5, 8])
+    def test_partition_disjoint_and_covering(self, name, shards):
+        specs = builtin_campaign(name, results_dir=None).specs()
+        parts = shard_specs(specs, shards)
+        assert len(parts) == shards
+        flat = [s.content_hash() for part in parts for s in part]
+        assert sorted(flat) == sorted(s.content_hash() for s in specs)
+        assert len(set(flat)) == len(flat)  # disjoint
+        for i, part in enumerate(parts):  # every member agrees on its owner
+            assert all(shard_of(s.content_hash(), shards) == i for s in part)
+
+    @pytest.mark.parametrize("name", sorted(registry.CAMPAIGN.names()))
+    def test_stable_under_scenario_reordering(self, name):
+        scenarios = registry.CAMPAIGN.get(name)()
+        if len(scenarios) < 2:
+            pytest.skip("single-scenario campaign cannot be reordered")
+        fwd = Campaign(scenarios, results_dir=None).specs()
+        rev = Campaign(list(reversed(scenarios)), results_dir=None).specs()
+        assign_fwd = {s.content_hash(): shard_of(s.content_hash(), 3) for s in fwd}
+        assign_rev = {s.content_hash(): shard_of(s.content_hash(), 3) for s in rev}
+        assert assign_fwd == assign_rev
+
+    def test_stable_under_grid_edits(self):
+        before = Campaign(_tiny_scenarios(), results_dir=None).specs()
+        grown = Campaign(
+            _tiny_scenarios() + [Scenario(name="extra", family="random_tree",
+                                          sizes=(16,), protocol="agm_connectivity",
+                                          seeds=(5,))],
+            results_dir=None,
+        ).specs()
+        owners_before = {s.content_hash(): shard_of(s.content_hash(), 4)
+                         for s in before}
+        owners_after = {s.content_hash(): shard_of(s.content_hash(), 4)
+                        for s in grown}
+        for h, owner in owners_before.items():
+            assert owners_after[h] == owner  # nothing moved
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ShardError, match="shards must be >= 1"):
+            shard_of("ab" * 12, 0)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        specs = Campaign(_tiny_scenarios(), results_dir=tmp_path).specs()
+        manifest = ShardManifest.from_specs("t", specs, 3)
+        manifest.write(tmp_path)
+        loaded = ShardManifest.load(tmp_path, "t")
+        assert loaded == manifest
+        assert loaded.spec_version == SPEC_VERSION
+        assert loaded.assignments() == {
+            s.content_hash(): shard_of(s.content_hash(), 3) for s in specs
+        }
+
+    def test_shard_hashes_partition_in_order(self, tmp_path):
+        specs = Campaign(_tiny_scenarios(), results_dir=tmp_path).specs()
+        manifest = ShardManifest.from_specs("t", specs, 2)
+        combined = manifest.shard_hashes(0) + manifest.shard_hashes(1)
+        assert sorted(combined) == sorted(manifest.spec_hashes)
+        for i in (0, 1):  # per-shard order preserves grid order
+            owned = [h for h in manifest.spec_hashes
+                     if shard_of(h, 2) == i]
+            assert manifest.shard_hashes(i) == owned
+
+    def test_missing_manifest_is_actionable(self, tmp_path):
+        with pytest.raises(ShardError, match="no checkpoint manifest"):
+            ShardManifest.load(tmp_path, "ghost")
+
+    def test_newer_manifest_version_refused(self, tmp_path):
+        specs = Campaign(_tiny_scenarios(), results_dir=tmp_path).specs()
+        d = ShardManifest.from_specs("t", specs, 1).to_dict()
+        d["manifest_version"] = 99
+        manifest_path(tmp_path, "t").write_text(json.dumps(d))
+        with pytest.raises(ShardError, match="newer than this engine"):
+            ShardManifest.load(tmp_path, "t")
+
+    def test_stale_spec_version_refused_with_fix(self, tmp_path):
+        specs = Campaign(_tiny_scenarios(), results_dir=tmp_path).specs()
+        manifest = ShardManifest.from_specs("t", specs, 1)
+        manifest.spec_version = SPEC_VERSION - 1
+        with pytest.raises(ShardError, match="SPEC_VERSION.*without --resume"):
+            manifest.validate_for("t", 1)
+
+    def test_campaign_rename_refused(self, tmp_path):
+        specs = Campaign(_tiny_scenarios(), results_dir=tmp_path).specs()
+        manifest = ShardManifest.from_specs("t", specs, 1)
+        with pytest.raises(ShardError, match="names campaign 't'"):
+            manifest.validate_for("other", 1)
+
+    def test_shard_count_change_refused(self, tmp_path):
+        specs = Campaign(_tiny_scenarios(), results_dir=tmp_path).specs()
+        manifest = ShardManifest.from_specs("t", specs, 2)
+        with pytest.raises(ShardError, match="checkpointed with 2 shard"):
+            manifest.validate_for("t", 3)
+
+    def test_completion_reads_done_markers(self, tmp_path):
+        campaign = Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path)
+        campaign.run(shards=2, shard_index=0)
+        manifest = ShardManifest.load(tmp_path, "t")
+        assert manifest.completion(tmp_path) == [True, False]
+
+
+class TestPartialLoader:
+    def _stream(self, tmp_path):
+        campaign = Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path,
+                            use_cache=False)
+        return campaign.run().jsonl_path
+
+    def test_clean_stream_loads_fully(self, tmp_path):
+        path = self._stream(tmp_path)
+        records, torn, good = load_partial_records(path)
+        assert (len(records), torn) == (5, 0)
+        assert good == path.stat().st_size
+
+    def test_missing_file_is_empty_stream(self, tmp_path):
+        assert load_partial_records(tmp_path / "none.jsonl") == ([], 0, 0)
+
+    @pytest.mark.parametrize("chop", [1, 10, 40])
+    def test_torn_tail_detected_and_dropped(self, tmp_path, chop):
+        path = self._stream(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-chop])
+        records, torn, good = load_partial_records(path)
+        assert torn == 1
+        assert len(records) == 4
+        assert data[:good].endswith(b"\n")
+
+    def test_unterminated_but_parseable_tail_is_torn(self, tmp_path):
+        # the newline itself was lost: the record parses but is not trusted
+        path = self._stream(tmp_path)
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        records, torn, _good = load_partial_records(path)
+        assert (len(records), torn) == (4, 1)
+
+    def test_mid_stream_corruption_raises(self, tmp_path):
+        path = self._stream(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-20]  # tear a *middle* line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ShardError, match="corrupt record mid-stream"):
+            load_partial_records(path)
+
+
+class TestMerge:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+    def test_any_factorization_reproduces_single_run(self, tmp_path, shards):
+        scenarios = _tiny_scenarios()
+        mono = Campaign(scenarios, name="m", results_dir=tmp_path / "mono",
+                        use_cache=False).run()
+        sharded_dir = tmp_path / f"s{shards}"
+        for index in range(shards):  # each shard as its own worker would
+            Campaign(scenarios, name="m", results_dir=sharded_dir,
+                     use_cache=False).run(shards=shards, shard_index=index)
+        path, count = merge_shards(sharded_dir, "m")
+        assert count == len(mono.records)
+        assert _strip(path.read_text()) == _strip(mono.jsonl_path.read_text())
+
+    def test_merge_before_completion_is_incomplete(self, tmp_path):
+        Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path).run(
+            shards=3, shard_index=0)
+        with pytest.raises(ShardIncomplete, match="no completion mark"):
+            merge_shards(tmp_path, "t")
+
+    def test_merge_detects_count_mismatch(self, tmp_path):
+        Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path).run(shards=2)
+        stream = shard_stream_path(tmp_path, "t", 0, 2)
+        lines = stream.read_text().splitlines()
+        if len(lines) < 2:
+            pytest.skip("shard 0 too small to drop a line")
+        stream.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ShardIncomplete, match="marks .* complete"):
+            merge_shards(tmp_path, "t")
+
+    def test_merge_detects_torn_shard_despite_marker(self, tmp_path):
+        Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path).run(shards=2)
+        stream = shard_stream_path(tmp_path, "t", 0, 2)
+        stream.write_bytes(stream.read_bytes()[:-5])
+        with pytest.raises(ShardIncomplete, match="torn"):
+            merge_shards(tmp_path, "t")
+
+    def test_merge_detects_foreign_record(self, tmp_path):
+        Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path).run(shards=2)
+        foreign = next(Scenario(name="x", family="random_tree", sizes=(20,),
+                                protocol="agm_connectivity", seeds=(9,)).expand())
+        record = execute_run(foreign)
+        stream = shard_stream_path(tmp_path, "t", 0, 2)
+        n_lines = len(stream.read_text().splitlines())
+        with stream.open("a") as fh:
+            fh.write(json.dumps(record.to_json_dict(), sort_keys=True) + "\n")
+        done = shard_done_path(tmp_path, "t", 0, 2)
+        marker = json.loads(done.read_text())
+        marker["records"] = n_lines + 1
+        done.write_text(json.dumps(marker))
+        with pytest.raises(ShardError, match="does not own"):
+            merge_shards(tmp_path, "t")
+
+    def test_merge_of_completed_monolithic_run_succeeds(self, tmp_path):
+        campaign = Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path,
+                            use_cache=False)
+        before = campaign.run().jsonl_path.read_text()
+        path, count = merge_shards(tmp_path, "t")  # verify + canonical no-op
+        assert count == 5
+        assert _strip(path.read_text()) == _strip(before)
+
+    def test_merge_of_interrupted_monolithic_run_is_retryable(self, tmp_path):
+        campaign = Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path,
+                            use_cache=False)
+        stream = campaign.run().jsonl_path
+        stream.write_bytes(stream.read_bytes()[:-30])  # tear the tail
+        with pytest.raises(ShardIncomplete, match="--resume"):
+            merge_shards(tmp_path, "t")
+        campaign.run(resume=True)  # the advice actually works
+        path, count = merge_shards(tmp_path, "t")
+        assert count == 5
+
+    def test_auto_merge_path_equals_manual(self, tmp_path):
+        scenarios = _tiny_scenarios()
+        auto = Campaign(scenarios, name="a", results_dir=tmp_path / "a",
+                        use_cache=False).run(shards=3)
+        manual_dir = tmp_path / "b"
+        for i in range(3):
+            Campaign(scenarios, name="a", results_dir=manual_dir,
+                     use_cache=False).run(shards=3, shard_index=i)
+        path, _ = merge_shards(manual_dir, "a")
+        assert _strip(auto.jsonl_path.read_text()) == _strip(path.read_text())
+        # auto-merge hands records back in deduplicated grid order
+        manifest = ShardManifest.load(tmp_path / "a", "a")
+        assert [r.spec.content_hash() for r in auto.records] == manifest.spec_hashes
+
+
+class TestRunValidation:
+    def test_shard_index_requires_shards(self, tmp_path):
+        campaign = Campaign(_tiny_scenarios(), results_dir=tmp_path)
+        with pytest.raises(ShardError, match="shard_index requires shards"):
+            campaign.run(shard_index=0)
+
+    def test_shard_index_out_of_range(self, tmp_path):
+        campaign = Campaign(_tiny_scenarios(), results_dir=tmp_path)
+        with pytest.raises(ShardError, match="out of range"):
+            campaign.run(shards=2, shard_index=2)
+
+    def test_sharding_requires_results_dir(self):
+        campaign = Campaign(_tiny_scenarios(), results_dir=None)
+        with pytest.raises(ShardError, match="need a results_dir"):
+            campaign.run(shards=2)
+
+    def test_resume_requires_results_dir(self):
+        campaign = Campaign(_tiny_scenarios(), results_dir=None)
+        with pytest.raises(ShardError, match="need a results_dir"):
+            campaign.run(resume=True)
+
+    def test_every_persisted_run_writes_a_manifest(self, tmp_path):
+        Campaign(_tiny_scenarios(), name="t", results_dir=tmp_path).run()
+        manifest = ShardManifest.load(tmp_path, "t")
+        assert manifest.shards == 1
+        assert len(manifest.spec_hashes) == 5
