@@ -35,7 +35,13 @@ from scratch, everything the paper builds on it:
   benchmarks (``kind="benchmark"``), one timing/RSS harness with stable
   JSON reports (``python -m repro bench`` → ``BENCH_PR4.json``), and
   regression gating against frozen bench baselines with
-  optimized-vs-naive speedup floors.
+  optimized-vs-naive speedup floors;
+* the **observability layer** (:mod:`repro.obs`): a span tracer on the
+  engine's monotonic timebase streaming crash-durable
+  ``<name>.events.jsonl`` telemetry, always-on campaign metrics
+  (counters/gauges/histograms, Prometheus-renderable), live progress
+  reporting, and the ``repro trace`` / ``repro stats`` readers — off by
+  default and provably free (the ``trace-overhead`` benchmark pins it).
 
 Quickstart (the fluent pipeline)::
 
@@ -67,7 +73,7 @@ campaign quickstart.
 import importlib
 from typing import Any
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Lazy export map (PEP 562): public name -> defining module.  `import
 #: repro` stays cheap — protocols, engine, sketching, and the analysis
@@ -128,6 +134,12 @@ _LAZY_EXPORTS = {
     "merge_shards": "repro.engine",
     # fluent front door
     "Session": "repro.api",
+    # observability
+    "ObsError": "repro.errors",
+    "WorkerCrash": "repro.errors",
+    "Tracer": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "ProgressReporter": "repro.obs",
     # results
     "aggregate": "repro.results",
     "diff_campaigns": "repro.results",

@@ -112,6 +112,8 @@ class Session:
         self._shards: int | None = None
         self._shard_index: int | None = None
         self._resume: bool = False
+        self._trace: bool = False
+        self._progress: Any = None
 
     # ------------------------------------------------------------------ #
     # builder steps (copy-on-write)
@@ -239,6 +241,30 @@ class Session:
         clone._resume = bool(enabled)
         return clone
 
+    def trace(self, enabled: bool = True) -> "Session":
+        """Stream span/mark/metrics events next to the records.
+
+        :meth:`run` writes ``<results_dir>/<name>[.shard-…].events.jsonl``
+        (DESIGN.md §8) — requires :meth:`persist`, like every durable
+        artifact.  Read it back with ``repro trace`` or
+        :func:`repro.obs.load_events`.
+        """
+        clone = self._clone()
+        clone._trace = bool(enabled)
+        return clone
+
+    def progress(self, enabled: Any = True) -> "Session":
+        """Live progress (rate, ETA, per-shard completion) on stderr.
+
+        Pass ``True`` for a default
+        :class:`~repro.obs.progress.ProgressReporter`, an instance to
+        control the stream/TTY mode, or ``False`` to turn it back off.
+        Works without :meth:`persist` — the event bus stays in-process.
+        """
+        clone = self._clone()
+        clone._progress = enabled
+        return clone
+
     # ------------------------------------------------------------------ #
     # terminal steps
     # ------------------------------------------------------------------ #
@@ -283,7 +309,7 @@ class Session:
         campaign = self.build()
         kwargs = dict(
             shards=self._shards, shard_index=self._shard_index,
-            resume=self._resume,
+            resume=self._resume, trace=self._trace, progress=self._progress,
         )
         if executor is not None:
             result = campaign.run(executor, **kwargs)
@@ -324,6 +350,11 @@ class SessionRun:
     def summary(self) -> dict[str, Any]:
         """The campaign summary (same shape as ``repro campaign --json``)."""
         return self.result.summary()
+
+    @property
+    def metrics(self) -> dict[str, Any] | None:
+        """The run's metrics snapshot (counters/gauges/histograms)."""
+        return self.result.metrics
 
     def aggregate(
         self,

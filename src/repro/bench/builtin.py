@@ -273,6 +273,64 @@ def _bench_session_sketch(scale: float = 1.0) -> BenchCase:
                          _scaled(14, scale, lo=6), (0,))
 
 
+def _trace_case(name: str, scale: float, *, trace: bool) -> BenchCase:
+    """The same persisted forest campaign, with and without ``--trace``.
+
+    The pair is the tentpole's "provably free" witness: the harness
+    reports ``speedups["trace-overhead"]`` = traced-min / untraced-min,
+    and the frozen bench baseline declares a floor just under 1.0 — if
+    the *untraced* path ever gets measurably slower than the fully
+    traced one (i.e. the NULL_TRACER fast path grew real work), the
+    gate fails.  Digest parity doubles as a correctness witness:
+    tracing must not change a single record.
+    """
+    import tempfile
+
+    from repro.api import Session
+
+    n = _scaled(20, scale, lo=8)
+    seeds = tuple(range(_scaled(6, scale, lo=2)))
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-trace-")
+    session = (Session(name)
+               .graphs("random_forest", n=n, seeds=seeds)
+               .protocol("forest")
+               .persist(tmp.name, use_cache=False)
+               .trace(trace))
+
+    def op():
+        # `tmp` is closed over here, keeping the results directory alive
+        # (each run overwrites the previous streams in place).
+        assert tmp is not None
+        run = session.run()
+        records = run.records
+        identity = sorted(
+            (r.spec.content_hash(), r.output_digest, r.status) for r in records
+        )
+        return {
+            "ops": len(records),
+            "bits": sum(r.total_message_bits for r in records),
+            "digest": _digest(identity),
+        }
+
+    return BenchCase(op=op, meta={"family": "random_forest", "n": n,
+                                  "seeds": len(seeds), "trace": trace})
+
+
+@register("trace-overhead", kind="benchmark", capabilities=("campaign", "obs"),
+          summary="Persisted campaign with tracing OFF — the NULL_TRACER "
+                  "fast path the overhead gate pins.")
+def _bench_trace_overhead(scale: float = 1.0) -> BenchCase:
+    return _trace_case("bench-untraced", scale, trace=False)
+
+
+@register("trace-overhead-naive", kind="benchmark",
+          capabilities=("campaign", "obs", "reference"),
+          summary="The same campaign fully traced (fsync'd event stream): "
+                  "the cost ceiling the untraced path must beat.")
+def _bench_trace_overhead_naive(scale: float = 1.0) -> BenchCase:
+    return _trace_case("bench-traced", scale, trace=True)
+
+
 @register("campaign-resume", kind="benchmark", capabilities=("campaign", "engine"),
           summary="Resume overhead: replay a fully-checkpointed sharded "
                   "campaign with zero recomputation, re-merge, digest.")

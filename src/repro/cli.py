@@ -9,6 +9,9 @@ Usage::
     python -m repro campaign spec.json --jobs 4 --executor process
     python -m repro campaign smoke --shards 3 --shard-index 0   # one worker's slice
     python -m repro campaign smoke --shards 3 --shard-index 0 --resume
+    python -m repro campaign smoke --trace     # + results/smoke.events.jsonl
+    python -m repro trace results/smoke.events.jsonl   # phase breakdown
+    python -m repro stats smoke                # metrics, Prometheus text
     python -m repro merge smoke                # reassemble shard streams
     python -m repro report results/smoke.jsonl --by protocol,n
     python -m repro diff results-a/smoke.jsonl results-b/smoke.jsonl
@@ -45,7 +48,7 @@ from repro.analysis import format_table
 __all__ = ["main"]
 
 _SUBCOMMANDS = ("list", "experiment", "campaign", "merge", "report", "diff",
-                "baseline", "bench")
+                "baseline", "bench", "trace", "stats")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,6 +91,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--resume", action="store_true",
                         help="replay the durable prefix of an interrupted "
                         "run and execute only what is missing")
+    p_camp.add_argument("--trace", action="store_true",
+                        help="stream span/mark/metrics events to "
+                        "<results-dir>/<name>.events.jsonl (see `repro trace`)")
+    progress_group = p_camp.add_mutually_exclusive_group()
+    progress_group.add_argument("--progress", action="store_true", default=None,
+                                dest="progress",
+                                help="live progress on stderr (default: on "
+                                "when stderr is a TTY)")
+    progress_group.add_argument("--no-progress", action="store_false",
+                                dest="progress",
+                                help="disable live progress")
     p_camp.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
     p_merge = sub.add_parser(
@@ -157,6 +171,25 @@ def _build_parser() -> argparse.ArgumentParser:
                          "never fails the gate)")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the report (and gate verdict) as JSON")
+
+    p_trace = sub.add_parser(
+        "trace", help="analyze a campaign's events.jsonl: phase breakdown, "
+        "critical path, slowest runs")
+    p_trace.add_argument("events", help="path to a <name>.events.jsonl file")
+    p_trace.add_argument("--top", type=int, default=10, metavar="K",
+                         help="slowest runs to show (default: 10)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
+
+    p_stats = sub.add_parser(
+        "stats", help="show a campaign's metrics snapshot "
+        "(Prometheus text format)")
+    p_stats.add_argument("metrics", help="campaign name (resolved under "
+                         "--results-dir) or path to a <name>.metrics.json file")
+    p_stats.add_argument("--results-dir", default="results", metavar="DIR",
+                         help="where metrics snapshots live (default: results/)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the raw snapshot as JSON")
     return parser
 
 
@@ -166,6 +199,7 @@ _KIND_HEADINGS = {
     "experiment": "experiments",
     "campaign": "campaigns",
     "benchmark": "benchmarks",
+    "span": "trace spans",
 }
 
 
@@ -219,7 +253,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.errors import ReproError, ShardError
+    from repro.errors import ObsError, ReproError, ShardError
     from repro.engine import load_campaign, make_executor
 
     try:
@@ -241,6 +275,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except ReproError as exc:  # e.g. --jobs 0
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # --progress/--no-progress; the default (None) means "on for a TTY",
+    # so interactive runs get the live line and piped runs stay clean.
+    progress = args.progress
+    if progress is None:
+        progress = sys.stderr.isatty()
     try:
         with executor:
             result = campaign.run(
@@ -248,10 +287,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 shard_index=args.shard_index,
                 resume=args.resume,
+                trace=args.trace,
+                progress=progress,
             )
-    except ShardError as exc:
-        # bad shard geometry, missing/stale manifest, edited grid — all
-        # usage-shaped refusals with the fix in the message
+    except (ShardError, ObsError) as exc:
+        # bad shard geometry, missing/stale manifest, edited grid, a trace
+        # without a results_dir — all usage-shaped refusals with the fix
+        # in the message
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -275,6 +317,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"  exact      {summary['exact']}/{summary['exact'] + summary['inexact']}")
     if summary["jsonl"]:
         print(f"  records -> {summary['jsonl']}")
+    if result.events_path is not None:
+        print(f"  events  -> {result.events_path}")
+    if result.metrics_path is not None:
+        print(f"  metrics -> {result.metrics_path}")
     return 0
 
 
@@ -485,6 +531,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if verdict is None or verdict.passed else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ObsError, ShardError
+    from repro.obs.report import render_trace_report, trace_report_data
+
+    try:
+        # Crash-tolerant read: a trace whose writer died mid-line is still
+        # analyzable up to the torn tail.
+        from repro.obs.events import load_partial_events
+
+        events, _torn, _good = load_partial_events(args.events)
+        if args.json:
+            print(json.dumps(trace_report_data(events, top=args.top),
+                             indent=2, sort_keys=True))
+            return 0
+        print(render_trace_report(events, top=args.top, source=args.events))
+    except (ObsError, ShardError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.errors import ObsError
+    from repro.obs.events import metrics_path
+    from repro.obs.metrics import load_metrics_file, render_prometheus
+
+    source = pathlib.Path(args.metrics)
+    if not source.suffix and len(source.parts) == 1:
+        # a bare name means <results-dir>/<name>.metrics.json
+        source = metrics_path(args.results_dir, args.metrics)
+    try:
+        payload = load_metrics_file(source)
+    except (ObsError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    try:
+        print(render_prometheus(payload["metrics"]), end="")
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `python -m repro EXP-T5` / `all` mean `experiment <id>`.
@@ -518,6 +612,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_diff(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return _cmd_baseline(args)
 
 

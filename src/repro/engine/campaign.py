@@ -35,6 +35,7 @@ fixed benchmark load used by ``benchmarks/bench_engine.py``.
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import pathlib
 from collections.abc import Iterable, Mapping
@@ -42,14 +43,21 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import registry
-from repro.errors import ProtocolError, ShardError
+from repro.errors import ObsError, ProtocolError, ShardError, WorkerCrash
 from repro.model.referee import monotonic_clock
+from repro.obs.events import events_path as _events_path
+from repro.obs.events import load_partial_events as _load_partial_events
+from repro.obs.events import metrics_path as _metrics_path
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.faults import FaultSpec
 from repro.engine.scenario import RunRecord, RunSpec, Scenario, execute_run
 from repro.engine.shard import (
     JsonlStreamWriter,
     ShardManifest,
+    atomic_write_json,
     atomic_write_jsonl,
     load_partial_records,
     merge_shards,
@@ -94,6 +102,12 @@ class CampaignResult:
     shard_index: int | None = None
     #: Records replayed from a durable partial stream on ``resume=True``.
     resumed: int = 0
+    #: :class:`~repro.obs.metrics.MetricsRegistry` snapshot for the run.
+    metrics: dict[str, Any] | None = None
+    #: Where the trace event stream landed (``None`` unless ``trace=True``).
+    events_path: pathlib.Path | None = None
+    #: Where the metrics snapshot landed (``None`` when not persisted).
+    metrics_path: pathlib.Path | None = None
 
     @property
     def ok(self) -> int:
@@ -123,6 +137,10 @@ class CampaignResult:
             out["shard_index"] = self.shard_index
         if self.resumed:
             out["resumed"] = self.resumed
+        if self.events_path is not None:
+            out["events"] = str(self.events_path)
+        if self.metrics_path is not None:
+            out["metrics"] = str(self.metrics_path)
         return out
 
 
@@ -208,6 +226,76 @@ class Campaign:
     # running
     # ------------------------------------------------------------------ #
 
+    def _observe_record(
+        self,
+        record: RunRecord,
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry,
+        t0: float,
+        landed: float,
+        worker: str | None,
+        busy: float | None,
+    ) -> None:
+        """Account one landed record: metrics always, retro spans when traced.
+
+        The run span's duration is the record's ``wall_seconds`` — the
+        worker-measured truth, copied bit-for-bit — for executed records,
+        and the in-process landed time for cache hits.  Phase children
+        (setup/local/referee/global) anchor consecutively at the run's
+        ``t0`` with the record's exact ``*_seconds`` durations, so a
+        trace's per-phase totals reconcile with the records exactly;
+        cache hits did no phase work *in this campaign*, so they get none.
+        """
+        spec = record.spec
+        if record.cached:
+            metrics.inc("runs_cached")
+        else:
+            metrics.inc("runs_started")
+            metrics.inc("runs_completed", status=record.status)
+            metrics.observe("run_seconds", record.timing.get("wall_seconds", landed))
+            if worker is not None:
+                metrics.inc("worker_tasks", worker=worker)
+                metrics.inc("worker_busy_seconds", busy or 0.0, worker=worker)
+        for fault_kind, count in (
+            ("dropped", record.faults.dropped),
+            ("duplicated", record.faults.duplicated),
+            ("flipped", record.faults.flipped),
+        ):
+            if count:
+                metrics.inc("faults_injected", count, kind=fault_kind)
+        metrics.inc("bits_total", record.total_message_bits)
+
+        if not tracer.enabled:
+            return
+        dur = landed if record.cached else float(
+            record.timing.get("wall_seconds", landed)
+        )
+        run_id = tracer.emit_span(
+            "run", t0, dur,
+            spec=spec.content_hash(), scenario=spec.scenario,
+            protocol=spec.protocol, n=spec.n, seed=spec.seed,
+            status=record.status, cached=record.cached,
+            worker=worker, busy_seconds=busy, landed_seconds=landed,
+        )
+        if record.cached:
+            return
+        offset = t0
+        for key, phase in (
+            ("setup_seconds", "setup"),
+            ("local_seconds", "local"),
+            ("referee_seconds", "referee"),
+            ("global_seconds", "global"),
+        ):
+            if key not in record.timing:
+                continue
+            phase_dur = record.timing[key]
+            if phase == "setup":
+                tracer.emit_span(phase, offset, phase_dur, parent=run_id)
+            else:
+                tracer.emit_span(phase, offset, phase_dur, parent=run_id,
+                                 protocol=spec.protocol, n=spec.n)
+            offset += phase_dur
+
     def _run_stream(
         self,
         specs: list[RunSpec],
@@ -215,6 +303,9 @@ class Campaign:
         stream_path: pathlib.Path | None,
         *,
         resume: bool = False,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+        metrics: MetricsRegistry | None = None,
+        shard_index: int | None = None,
     ) -> tuple[list[RunRecord], int, int, int]:
         """Execute ``specs`` in order, making each record durable as it lands.
 
@@ -232,6 +323,7 @@ class Campaign:
 
         Returns ``(records, cache_hits, cache_misses, resumed)``.
         """
+        metrics = metrics if metrics is not None else MetricsRegistry()
         order = [s.content_hash() for s in specs]
         durable: dict[str, RunRecord] = {}
         canonical = True  # does the on-disk stream equal canonical order?
@@ -258,22 +350,65 @@ class Campaign:
             for h, record in durable.items():
                 record.spec = by_hash[h]
 
+        if durable:
+            # Replayed records emit NO events (their events survived the
+            # crash in the stream) — the mark is how progress consumers
+            # learn the grid jumped ahead without re-running anything.
+            tracer.mark("resume-replay", replayed=len(durable))
+            metrics.inc("runs_resumed", len(durable))
+
         pending = [s for s, h in zip(specs, order) if h not in durable]
         slots: list[RunRecord | None] = [self._cache_load(s) for s in pending]
         misses = [s for s, r in zip(pending, slots) if r is None]
-        miss_iter = executor.imap(execute_run, misses)
+        miss_iter = executor.imap_observed(execute_run, misses)
 
         writer = None
         if stream_path is not None:
             writer = JsonlStreamWriter(stream_path, append=resume)
         try:
             for spec, record in zip(pending, slots):
+                t_land = monotonic_clock()
+                worker = busy = None
                 if record is None:
-                    record = next(miss_iter)
+                    try:
+                        record, worker, busy = next(miss_iter)
+                    except Exception as exc:
+                        h = spec.content_hash()
+                        where = (
+                            f"spec {h} ({spec.scenario}/{spec.protocol} "
+                            f"n={spec.n} seed={spec.seed}"
+                            + (f", shard {shard_index}" if shard_index is not None
+                               else "") + ")"
+                        )
+                        tracer.mark(
+                            "worker-crash", spec=h, shard=shard_index,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        metrics.inc("worker_crashes")
+                        if isinstance(exc, concurrent.futures.BrokenExecutor):
+                            # The pool itself died (a worker was killed,
+                            # ran out of memory, ...): the task's own code
+                            # never got to raise, so wrap with the context
+                            # the stack trace cannot carry.
+                            raise WorkerCrash(
+                                f"executor pool broke running {where}: "
+                                f"{type(exc).__name__}: {exc}",
+                                spec_hash=h,
+                                shard_index=shard_index,
+                            ) from exc
+                        # A task exception is part of the engine's contract
+                        # (it escapes unchanged — resume relies on the
+                        # type); annotate it with run context instead.
+                        exc.add_note(f"while running {where}")
+                        raise
                     self._cache_store(record)
                 durable[spec.content_hash()] = record
                 if writer is not None:
                     writer.write(record.to_json_dict())
+                self._observe_record(
+                    record, tracer, metrics,
+                    t_land, monotonic_clock() - t_land, worker, busy,
+                )
         finally:
             if writer is not None:
                 writer.close()
@@ -294,6 +429,8 @@ class Campaign:
         shards: int | None = None,
         shard_index: int | None = None,
         resume: bool = False,
+        trace: bool = False,
+        progress: "bool | ProgressReporter | None" = None,
     ) -> CampaignResult:
         """Execute the grid (or one shard of it) and persist JSONL records.
 
@@ -318,10 +455,25 @@ class Campaign:
             reordering are tolerated: records are matched by spec content
             hash, stale ones dropped, and the stream rewritten in
             canonical order if it drifted.
+        trace:
+            Stream span/mark/metrics events (DESIGN.md §8) to
+            ``<results_dir>/<name>[.shard-…].events.jsonl`` through the
+            same fsync-per-line writer as the records, so traces survive
+            ``kill -9`` too.  Requires a ``results_dir``
+            (:class:`~repro.errors.ObsError` otherwise).  On ``resume``,
+            completed-run events survive and new ones append; replayed
+            records emit nothing, so nothing duplicates.
+        progress:
+            Live progress on stderr: ``True`` for a default
+            :class:`~repro.obs.progress.ProgressReporter`, or an instance
+            for custom streams.  Runs off the same event bus as tracing
+            but needs no ``results_dir`` (events stay in-process).
 
         Every persisted run (sharded or not) writes
-        ``<results_dir>/<name>.manifest.json`` atomically, so any
-        interrupted campaign can be resumed.
+        ``<results_dir>/<name>.manifest.json`` atomically (with a final
+        metrics snapshot embedded), plus ``<name>[.shard-…].metrics.json``
+        — metrics are collected unconditionally; only *event streaming*
+        is opt-in.
         """
         t0 = monotonic_clock()
         executor = executor or SerialExecutor()
@@ -341,79 +493,160 @@ class Campaign:
                 "sharded or resumed campaigns need a results_dir "
                 "(durable streams and the checkpoint manifest live there)"
             )
+        if trace and self.results_dir is None:
+            raise ObsError(
+                "traced campaigns need a results_dir (the event stream "
+                "lives there); pass results_dir= or drop trace=True"
+            )
         specs = self.specs()
 
-        manifest = None
-        if self.results_dir is not None:
-            self.results_dir.mkdir(parents=True, exist_ok=True)
-            n_shards = 1 if shards is None else shards
-            if resume:
-                ShardManifest.load(self.results_dir, self.name).validate_for(
-                    self.name, n_shards
-                )
-            manifest = ShardManifest.from_specs(self.name, specs, n_shards)
-            manifest.write(self.results_dir)
+        reporter: ProgressReporter | None
+        if progress is None or progress is False:
+            reporter = None
+        elif progress is True:
+            reporter = ProgressReporter()
+        else:
+            reporter = progress
 
-        if shards is None:
-            stream = (
-                self.results_dir / f"{self.name}.jsonl"
-                if self.results_dir is not None else None
+        metrics = MetricsRegistry()
+        ev_path = None
+        writer = None
+        if trace:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+            ev_path = _events_path(
+                self.results_dir, self.name,
+                shard_index=shard_index, shards=shards,
             )
-            records, hits, misses, resumed = self._run_stream(
-                specs, executor, stream, resume=resume
+            if resume:
+                # Drop a torn tail so appended events start on a clean
+                # line; completed-run events survive the crash (replays
+                # emit nothing, so appending cannot duplicate them).
+                _evs, _torn, good_bytes = _load_partial_events(ev_path)
+                if ev_path.exists() and ev_path.stat().st_size > good_bytes:
+                    with ev_path.open("rb+") as fh:
+                        fh.truncate(good_bytes)
+            writer = JsonlStreamWriter(ev_path, append=resume)
+        tracer: Tracer | NullTracer = NULL_TRACER
+        if writer is not None or reporter is not None:
+            tracer = Tracer(
+                writer, subscribers=(reporter.on_event,) if reporter else ()
             )
+
+        try:
+            manifest = None
+            if self.results_dir is not None:
+                self.results_dir.mkdir(parents=True, exist_ok=True)
+                n_shards = 1 if shards is None else shards
+                if resume:
+                    ShardManifest.load(self.results_dir, self.name).validate_for(
+                        self.name, n_shards
+                    )
+                manifest = ShardManifest.from_specs(self.name, specs, n_shards)
+                manifest.write(self.results_dir)
+
+            with tracer.span("campaign", campaign=self.name,
+                             executor=executor.kind):
+                if shards is None:
+                    stream = (
+                        self.results_dir / f"{self.name}.jsonl"
+                        if self.results_dir is not None else None
+                    )
+                    tracer.mark("campaign-start", campaign=self.name,
+                                runs=len(specs), shards=None, resume=resume)
+                    records, hits, misses, resumed = self._run_stream(
+                        specs, executor, stream, resume=resume,
+                        tracer=tracer, metrics=metrics,
+                    )
+                    jsonl_path = stream
+                else:
+                    per_shard = shard_specs(specs, shards)
+                    indices = (
+                        [shard_index] if shard_index is not None
+                        else list(range(shards))
+                    )
+                    tracer.mark(
+                        "campaign-start", campaign=self.name,
+                        runs=sum(len(per_shard[i]) for i in indices),
+                        shards=shards, resume=resume,
+                    )
+                    records = []
+                    hits = misses = resumed = 0
+                    stream = None
+                    for i in indices:
+                        stream = shard_stream_path(
+                            self.results_dir, self.name, i, shards
+                        )
+                        # A stale mark must not claim completion while the
+                        # shard reruns.
+                        shard_done_path(
+                            self.results_dir, self.name, i, shards
+                        ).unlink(missing_ok=True)
+                        with tracer.span("shard", shard=i, shards=shards):
+                            tracer.mark("shard-start", shard=i, shards=shards,
+                                        runs=len(per_shard[i]))
+                            recs, h, m, r = self._run_stream(
+                                per_shard[i], executor, stream, resume=resume,
+                                tracer=tracer, metrics=metrics, shard_index=i,
+                            )
+                        write_done_marker(
+                            self.results_dir, self.name, i, shards,
+                            records=len(recs), metrics=metrics.to_dict(),
+                        )
+                        records += recs
+                        hits, misses, resumed = hits + h, misses + m, resumed + r
+
+                    if shard_index is None:
+                        # All shards ran here: publish the canonical merged
+                        # file and hand records back in deduplicated grid
+                        # order.
+                        jsonl_path, _count = merge_shards(
+                            self.results_dir, self.name
+                        )
+                        by_hash = {
+                            rec.spec.content_hash(): rec for rec in records
+                        }
+                        records = [by_hash[h] for h in manifest.spec_hashes]
+                    else:
+                        jsonl_path = stream
+                tracer.mark("campaign-end", campaign=self.name)
+
+            landed = hits + misses
+            metrics.set_gauge(
+                "cache_hit_ratio", (hits / landed) if landed else 0.0
+            )
+            metrics.set_gauge("campaign_wall_seconds", monotonic_clock() - t0)
+            snapshot = metrics.to_dict()
+            tracer.metrics_snapshot(snapshot)
+
+            m_path = None
+            if self.results_dir is not None:
+                m_path = _metrics_path(
+                    self.results_dir, self.name,
+                    shard_index=shard_index, shards=shards,
+                )
+                atomic_write_json(
+                    m_path, {"campaign": self.name, "metrics": snapshot}
+                )
+                # Refresh the completion snapshot, metrics embedded.
+                manifest.write(self.results_dir, metrics=snapshot)
+
             return CampaignResult(
                 name=self.name,
                 records=records,
-                jsonl_path=stream,
+                jsonl_path=jsonl_path,
                 cache_hits=hits,
                 cache_misses=misses,
                 executor_kind=executor.kind,
                 wall_seconds=monotonic_clock() - t0,
+                shards=shards,
+                shard_index=shard_index,
                 resumed=resumed,
+                metrics=snapshot,
+                events_path=ev_path,
+                metrics_path=m_path,
             )
-
-        per_shard = shard_specs(specs, shards)
-        indices = [shard_index] if shard_index is not None else list(range(shards))
-        records: list[RunRecord] = []
-        hits = misses = resumed = 0
-        stream = None
-        for i in indices:
-            stream = shard_stream_path(self.results_dir, self.name, i, shards)
-            # A stale mark must not claim completion while the shard reruns.
-            shard_done_path(self.results_dir, self.name, i, shards).unlink(
-                missing_ok=True
-            )
-            recs, h, m, r = self._run_stream(
-                per_shard[i], executor, stream, resume=resume
-            )
-            write_done_marker(
-                self.results_dir, self.name, i, shards, records=len(recs)
-            )
-            records += recs
-            hits, misses, resumed = hits + h, misses + m, resumed + r
-        manifest.write(self.results_dir)  # refresh the completion snapshot
-
-        if shard_index is None:
-            # All shards ran here: publish the canonical merged file and
-            # hand records back in deduplicated grid order.
-            jsonl_path, _count = merge_shards(self.results_dir, self.name)
-            by_hash = {rec.spec.content_hash(): rec for rec in records}
-            records = [by_hash[h] for h in manifest.spec_hashes]
-        else:
-            jsonl_path = stream
-        return CampaignResult(
-            name=self.name,
-            records=records,
-            jsonl_path=jsonl_path,
-            cache_hits=hits,
-            cache_misses=misses,
-            executor_kind=executor.kind,
-            wall_seconds=monotonic_clock() - t0,
-            shards=shards,
-            shard_index=shard_index,
-            resumed=resumed,
-        )
+        finally:
+            tracer.close()
 
     # ------------------------------------------------------------------ #
     # (de)serialization

@@ -31,8 +31,11 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import threading
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Iterator, Sequence
+from functools import partial
 from typing import Any, TypeVar
 
 from repro.errors import ProtocolError
@@ -42,6 +45,7 @@ from repro.model.protocol import OneRoundProtocol
 
 __all__ = [
     "Executor",
+    "ObservedResult",
     "SerialExecutor",
     "ThreadPoolExecutor",
     "ProcessPoolExecutor",
@@ -69,6 +73,46 @@ def _chunk_ids(ids: Sequence[int], n_chunks: int) -> list[list[int]]:
         chunks.append(list(ids[start:end]))
         start = end
     return chunks
+
+
+def _worker_tag() -> str:
+    """Identify the worker a call ran on, across every backend.
+
+    ``pid:thread-name`` distinguishes process workers (different pids),
+    thread workers (same pid, different thread names), and the serial
+    backend (same pid, MainThread).
+    """
+    return f"{os.getpid()}:{threading.current_thread().name}"
+
+
+def _observed_call(fn: Callable[[T], R], item: T) -> "ObservedResult":
+    """Run ``fn(item)`` and report where and for how long (picklable).
+
+    Module-level (not a closure) so process pools can ship it; the clock
+    is ``time.perf_counter`` — the same timebase as
+    :data:`repro.model.referee.monotonic_clock` — measured *inside* the
+    worker, so the duration is busy-time, not queue time.
+    """
+    t0 = time.perf_counter()
+    result = fn(item)
+    return ObservedResult(result, _worker_tag(), time.perf_counter() - t0)
+
+
+class ObservedResult:
+    """One :meth:`Executor.imap_observed` yield: result + provenance."""
+
+    __slots__ = ("result", "worker", "seconds")
+
+    def __init__(self, result: Any, worker: str, seconds: float) -> None:
+        self.result = result
+        self.worker = worker
+        self.seconds = seconds
+
+    def __iter__(self) -> Iterator[Any]:  # supports tuple unpacking
+        return iter((self.result, self.worker, self.seconds))
+
+    def __repr__(self) -> str:
+        return f"ObservedResult(worker={self.worker!r}, seconds={self.seconds:.6f})"
 
 
 def _local_batch(
@@ -109,6 +153,21 @@ class Executor(ABC):
         pooled ones submit everything up front and yield lazily).
         """
         return iter(self.map(fn, items))
+
+    def imap_observed(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> Iterator[ObservedResult]:
+        """Like :meth:`imap`, yielding ``(result, worker, seconds)`` triples.
+
+        The observability variant the campaign layer streams through: each
+        yield is an :class:`ObservedResult` carrying the worker tag
+        (``pid:thread-name``) and the in-worker busy time, measured on the
+        shared ``perf_counter`` timebase.  Built on :meth:`imap`, so it
+        inherits whatever laziness/durability the backend provides — a
+        subclass overriding only ``imap`` gets observation for free.
+        """
+        observed = partial(_observed_call, fn)
+        return self.imap(observed, items)
 
     def map_local(
         self, protocol: OneRoundProtocol, g: LabeledGraph, *, batches_per_job: int = 4

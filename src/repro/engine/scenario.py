@@ -366,6 +366,9 @@ def execute_run(spec: RunSpec) -> RunRecord:
     try:
         g = spec.build_graph()
         protocol = spec.build_protocol()
+        # Stamped before the round so violation/error records keep the
+        # setup cost they actually paid (DESIGN.md §8 span taxonomy).
+        record.timing["setup_seconds"] = monotonic_clock() - t0
         record.graph_n, record.graph_m = g.n, g.m
         referee = Referee(
             budget_bits=spec.budget_bits,
@@ -393,9 +396,11 @@ def execute_run(spec: RunSpec) -> RunRecord:
         record.total_message_bits = report.total_message_bits
         if report.fault_counters is not None:
             record.faults = report.fault_counters
-        record.timing = {
-            "local_seconds": report.local_seconds,
-            "global_seconds": report.global_seconds,
-        }
+        # update(), not replace: setup_seconds is already in the dict.
+        record.timing.update(
+            local_seconds=report.local_seconds,
+            referee_seconds=report.referee_seconds,
+            global_seconds=report.global_seconds,
+        )
     record.timing["wall_seconds"] = monotonic_clock() - t0
     return record

@@ -65,7 +65,7 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ShardError, ShardIncomplete
+from repro.errors import ReproError, ShardError, ShardIncomplete
 from repro.engine.scenario import SPEC_VERSION, RunRecord, RunSpec
 
 __all__ = [
@@ -77,7 +77,9 @@ __all__ = [
     "shard_done_path",
     "ShardManifest",
     "JsonlStreamWriter",
+    "atomic_write_json",
     "atomic_write_jsonl",
+    "scan_partial_lines",
     "load_partial_records",
     "write_done_marker",
     "read_done_marker",
@@ -165,9 +167,13 @@ def _atomic_write_text(path: pathlib.Path, text: str) -> None:
         raise
 
 
-def _atomic_write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
-    """Atomically publish one JSON document (manifest / done marker)."""
+def atomic_write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
+    """Atomically publish one JSON document (manifest / done marker /
+    metrics snapshot) — sorted keys, indented, fsync, rename."""
     _atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2))
+
+
+_atomic_write_json = atomic_write_json
 
 
 def atomic_write_jsonl(
@@ -241,9 +247,19 @@ class ShardManifest:
             for i in range(self.shards)
         ]
 
-    def to_dict(self, *, completed: Sequence[bool] | None = None) -> dict:
-        """JSON object form (inverse of :meth:`from_dict`)."""
-        return {
+    def to_dict(
+        self,
+        *,
+        completed: Sequence[bool] | None = None,
+        metrics: Mapping[str, Any] | None = None,
+    ) -> dict:
+        """JSON object form (inverse of :meth:`from_dict`).
+
+        ``metrics`` optionally embeds a
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshot —
+        advisory, like ``completed`` (:meth:`from_dict` ignores both).
+        """
+        out = {
             "manifest_version": self.manifest_version,
             "spec_version": self.spec_version,
             "campaign": self.campaign,
@@ -252,6 +268,9 @@ class ShardManifest:
             "completed": list(completed) if completed is not None
             else [False] * self.shards,
         }
+        if metrics is not None:
+            out["metrics"] = dict(metrics)
+        return out
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any], *, where: str = "manifest") -> "ShardManifest":
@@ -273,10 +292,19 @@ class ShardManifest:
             manifest_version=int(d["manifest_version"]),
         )
 
-    def write(self, results_dir: str | pathlib.Path) -> pathlib.Path:
-        """Atomically publish the manifest (with a completion snapshot)."""
+    def write(
+        self,
+        results_dir: str | pathlib.Path,
+        *,
+        metrics: Mapping[str, Any] | None = None,
+    ) -> pathlib.Path:
+        """Atomically publish the manifest (with a completion snapshot and,
+        optionally, an advisory metrics snapshot)."""
         path = manifest_path(results_dir, self.campaign)
-        _atomic_write_json(path, self.to_dict(completed=self.completion(results_dir)))
+        _atomic_write_json(
+            path,
+            self.to_dict(completed=self.completion(results_dir), metrics=metrics),
+        )
         return path
 
     @classmethod
@@ -371,21 +399,30 @@ class JsonlStreamWriter:
         self.close()
 
 
-def load_partial_records(
+def scan_partial_lines(
     path: str | pathlib.Path,
-) -> tuple[list[RunRecord], int, int]:
-    """Load a possibly-interrupted shard stream; tolerate a torn tail.
+    parse,
+    *,
+    what: str = "record",
+) -> tuple[list, int, int]:
+    """Scan any fsync-per-line JSONL stream, tolerating one torn tail.
 
-    Returns ``(records, torn, good_bytes)``: the cleanly-recovered
-    records, how many trailing torn lines were dropped (0 or 1), and the
-    byte offset just past the last good line — the truncation point a
-    resume uses so appended records start on a clean line.
+    The machinery behind :func:`load_partial_records` (shard/record
+    streams) and :func:`repro.obs.events.load_partial_events` (trace
+    event streams), which share the :class:`JsonlStreamWriter`
+    durability contract and therefore the same recovery rules.
+    ``parse`` maps one raw line (bytes) to a value; any
+    :class:`ValueError` / :class:`KeyError` / :class:`TypeError` /
+    :class:`~repro.errors.ReproError` it raises marks the line malformed.
 
-    Because :class:`JsonlStreamWriter` fsyncs per line, only the *final*
-    line can be incomplete after a crash; a record counts only when its
-    line is newline-terminated **and** parses (a terminator-less tail is
-    re-run rather than trusted — recomputation is deterministic, so only
-    the ``timing`` sidecar can differ).  A malformed line anywhere but the
+    Returns ``(values, torn, good_bytes)``: the cleanly-parsed values,
+    how many trailing torn lines were dropped (0 or 1), and the byte
+    offset just past the last good line — the truncation point a resume
+    uses so appended lines start clean.
+
+    Because the writer fsyncs per line, only the *final* line can be
+    incomplete after a crash; a line counts only when it is
+    newline-terminated **and** parses.  A malformed line anywhere but the
     tail means real corruption and raises
     :class:`~repro.errors.ShardError` instead of silently skipping data.
     A missing file is an empty stream.
@@ -396,7 +433,7 @@ def load_partial_records(
     data = path.read_bytes()
     # JSON is dumped with ensure_ascii, so byte and character offsets agree.
     lines = data.split(b"\n")  # a clean file ends with one b"" element
-    records: list[RunRecord] = []
+    values: list = []
     good_bytes = 0
     for i, raw in enumerate(lines):
         terminated = i < len(lines) - 1
@@ -404,23 +441,42 @@ def load_partial_records(
             if terminated:
                 good_bytes += len(raw) + 1
             continue
-        parsed: RunRecord | None = None
+        parsed = None
+        ok = False
         try:
-            parsed = RunRecord.from_json_dict(json.loads(raw.decode()))
-        except (ValueError, KeyError, TypeError):
-            parsed = None
-        if parsed is None or not terminated:
+            parsed = parse(raw)
+            ok = True
+        except (ValueError, KeyError, TypeError, ReproError):
+            ok = False
+        if not ok or not terminated:
             tail = all(not rest.strip() for rest in lines[i + 1:])
             if tail:
-                return records, 1, good_bytes  # the one tear fsync allows
+                return values, 1, good_bytes  # the one tear fsync allows
             raise ShardError(
-                f"{path.name}:{i + 1}: corrupt record mid-stream; only the "
-                "final line can be torn — delete the shard stream to "
+                f"{path.name}:{i + 1}: corrupt {what} mid-stream; only the "
+                f"final line can be torn — delete the {what} stream to "
                 "recompute it"
             )
-        records.append(parsed)
+        values.append(parsed)
         good_bytes += len(raw) + 1
-    return records, 0, good_bytes
+    return values, 0, good_bytes
+
+
+def load_partial_records(
+    path: str | pathlib.Path,
+) -> tuple[list[RunRecord], int, int]:
+    """Load a possibly-interrupted shard stream; tolerate a torn tail.
+
+    ``(records, torn, good_bytes)`` — see :func:`scan_partial_lines`,
+    which this wraps with the :class:`RunRecord` parser.  A
+    terminator-less tail is re-run rather than trusted: recomputation is
+    deterministic, so only the ``timing`` sidecar can differ.
+    """
+    return scan_partial_lines(
+        path,
+        lambda raw: RunRecord.from_json_dict(json.loads(raw.decode())),
+        what="record",
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -435,16 +491,26 @@ def write_done_marker(
     shards: int,
     *,
     records: int,
+    metrics: Mapping[str, Any] | None = None,
 ) -> pathlib.Path:
-    """Atomically publish one shard's completion mark (record count inside)."""
+    """Atomically publish one shard's completion mark (record count inside).
+
+    ``metrics`` optionally embeds the worker's
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshot at
+    completion time — advisory observability data (like the manifest's
+    ``completed`` key), never consulted by :func:`merge_shards`.
+    """
     path = shard_done_path(results_dir, name, index, shards)
-    _atomic_write_json(path, {
+    payload: dict[str, Any] = {
         "campaign": name,
         "shard": index,
         "shards": shards,
         "records": records,
         "spec_version": SPEC_VERSION,
-    })
+    }
+    if metrics is not None:
+        payload["metrics"] = dict(metrics)
+    _atomic_write_json(path, payload)
     return path
 
 

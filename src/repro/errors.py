@@ -29,6 +29,8 @@ __all__ = [
     "BenchError",
     "ShardError",
     "ShardIncomplete",
+    "ObsError",
+    "WorkerCrash",
 ]
 
 
@@ -168,3 +170,32 @@ class ShardIncomplete(ShardError):
     run or resume the named shard" to exit code 1 (a gate-style failure)
     rather than 2 (a usage error).
     """
+
+
+class ObsError(ReproError):
+    """Raised by the observability layer (:mod:`repro.obs`): a malformed
+    event in an ``.events.jsonl`` stream, a missing/invalid metrics
+    snapshot, or tracing requested without a place to stream events to."""
+
+
+class WorkerCrash(ObsError):
+    """An executor worker died (or its pool broke) while running one spec.
+
+    Wraps the bare pool exception with enough context — the spec content
+    hash, the shard index, and the worker tag when known — that the raised
+    error and the trace's ``worker-crash`` mark name the same run.  The
+    original exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        spec_hash: str = "",
+        shard_index: int | None = None,
+        worker: str | None = None,
+    ):
+        super().__init__(message)
+        self.spec_hash = spec_hash
+        self.shard_index = shard_index
+        self.worker = worker

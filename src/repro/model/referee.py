@@ -20,6 +20,7 @@ from repro.errors import FrugalityViolation
 from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import OneRoundProtocol
+from repro.obs.trace import current_tracer
 
 if TYPE_CHECKING:  # deferred: repro.engine imports this module
     from repro.engine.executor import Executor
@@ -47,6 +48,9 @@ class RunReport:
     total_message_bits: int
     local_seconds: float
     global_seconds: float
+    #: Time between the phases — fault injection and delivery shuffling
+    #: (``t1..t2`` in :meth:`Referee.run`); 0 for a plain round.
+    referee_seconds: float = 0.0
     per_vertex_bits: tuple[int, ...] = field(repr=False, default=())
     #: Transit-fault event counts; ``None`` unless fault injection was on.
     fault_counters: "FaultCounters | None" = None
@@ -55,6 +59,22 @@ class RunReport:
     def mean_message_bits(self) -> float:
         """Average message length across nodes."""
         return self.total_message_bits / self.n if self.n else 0.0
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Per-phase durations keyed by span name (DESIGN.md §8 taxonomy).
+
+        The public accessor for the ``t0..t3`` timestamps
+        :meth:`Referee.run` captures — totals were always exposed, the
+        split was not.  Keys match the tracer's span names (``local`` /
+        ``referee`` / ``global``), so a trace's per-phase span totals
+        reconcile with these values exactly.
+        """
+        return {
+            "local": self.local_seconds,
+            "referee": self.referee_seconds,
+            "global": self.global_seconds,
+        }
 
 
 class Referee:
@@ -155,7 +175,7 @@ class Referee:
         t3 = monotonic_clock()
 
         bits = tuple(m.bits for m in messages)
-        return RunReport(
+        report = RunReport(
             protocol=protocol.name,
             n=g.n,
             output=output,
@@ -163,6 +183,22 @@ class Referee:
             total_message_bits=sum(bits),
             local_seconds=t1 - t0,
             global_seconds=t3 - t2,
+            referee_seconds=t2 - t1,
             per_vertex_bits=bits,
             fault_counters=fault_counters,
         )
+
+        # Retro phase spans on the ambient tracer (a no-op unless the
+        # caller installed one via ``use_tracer``; campaigns emit these
+        # from the landed record instead — see DESIGN.md §8).  Durations
+        # are the *measured* ones, copied bit-for-bit, so span totals
+        # reconcile exactly with the report's ``*_seconds`` fields.
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.emit_span("local", t0, report.local_seconds,
+                             protocol=protocol.name, n=g.n)
+            tracer.emit_span("referee", t1, report.referee_seconds,
+                             protocol=protocol.name, n=g.n)
+            tracer.emit_span("global", t2, report.global_seconds,
+                             protocol=protocol.name, n=g.n)
+        return report

@@ -1,0 +1,166 @@
+"""Counters, gauges, and streaming histograms for the execution stack.
+
+A :class:`MetricsRegistry` is a plain in-process accumulator in the
+Prometheus naming style: three instrument families, optional label sets,
+no background threads, no dependencies.  The engine keeps one per
+campaign run — runs started/completed/cached/failed, fault injections by
+kind, bits encoded, cache hit ratio, per-worker task counts and busy
+time — and snapshots it into :class:`~repro.engine.campaign.CampaignResult`,
+the shard manifest, ``<name>.metrics.json``, and the trace event stream.
+
+Instruments are keyed by ``(name, sorted labels)`` rendered as
+``name{k="v",...}`` — the exact series key Prometheus' text format uses,
+so :func:`render_prometheus` is a direct dump.  Histograms are streaming
+(count/total/min/max; mean derived at snapshot time): O(1) memory per
+series regardless of campaign size.
+
+Everything in a snapshot is sorted, so ``to_dict()`` output is stable and
+diffable — the same discipline as every other JSON artifact this library
+writes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.errors import ObsError
+
+__all__ = [
+    "MetricsRegistry",
+    "render_prometheus",
+    "load_metrics_file",
+]
+
+
+def _series_key(name: str, labels: dict[str, Any]) -> str:
+    """``name{k="v",...}`` with sorted labels; bare ``name`` when none."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Three instrument families behind one accumulator.
+
+    * :meth:`inc` — monotonically increasing counters (events, totals);
+    * :meth:`set_gauge` — point-in-time values (ratios, sizes);
+    * :meth:`observe` — streaming histograms (durations).
+
+    Not thread-safe by design: the engine's single-writer rule means all
+    metric updates happen on the thread that lands records.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict[str, float]] = {}
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` (default 1) to the counter series."""
+        key = _series_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge series to ``value`` (last write wins)."""
+        self._gauges[_series_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Fold ``value`` into the histogram series (O(1) memory)."""
+        key = _series_key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            self._histograms[key] = {
+                "count": 1, "total": value, "min": value, "max": value,
+            }
+        else:
+            h["count"] += 1
+            h["total"] += value
+            h["min"] = min(h["min"], value)
+            h["max"] = max(h["max"], value)
+
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current counter value (0 when the series never fired)."""
+        return self._counters.get(_series_key(name, labels), 0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable snapshot: sorted keys, histogram means derived."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                key: {**h, "mean": h["total"] / h["count"]}
+                for key, h in sorted(self._histograms.items())
+            },
+        }
+
+
+def render_prometheus(snapshot: dict[str, Any], *, prefix: str = "repro") -> str:
+    """The snapshot in Prometheus text exposition format.
+
+    Counters and gauges map directly; a streaming histogram becomes the
+    conventional ``_count`` / ``_sum`` pair plus ``_min`` / ``_max``
+    gauges.  Series order follows the (sorted) snapshot, so the output is
+    byte-stable for identical snapshots.
+    """
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            raise ObsError(f"metrics snapshot is missing the {section!r} section")
+
+    def prefixed(series: str) -> str:
+        name, brace, labels = series.partition("{")
+        return f"{prefix}_{name}{brace}{labels}"
+
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit(series: str, value: float, mtype: str) -> None:
+        base = series.partition("{")[0]
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {prefix}_{base} {mtype}")
+        lines.append(f"{prefixed(series)} {value}")
+
+    for series, value in snapshot["counters"].items():
+        emit(series, value, "counter")
+    for series, value in snapshot["gauges"].items():
+        emit(series, value, "gauge")
+    for series, h in snapshot["histograms"].items():
+        name, brace, labels = series.partition("{")
+        suffix = brace + labels
+        emit(f"{name}_count{suffix}", h["count"], "counter")
+        emit(f"{name}_sum{suffix}", h["total"], "counter")
+        emit(f"{name}_min{suffix}", h["min"], "gauge")
+        emit(f"{name}_max{suffix}", h["max"], "gauge")
+    return "\n".join(lines) + "\n"
+
+
+def load_metrics_file(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load a ``<name>.metrics.json`` sidecar; raise :class:`ObsError`.
+
+    The file is the atomic snapshot :meth:`Campaign.run
+    <repro.engine.campaign.Campaign.run>` writes next to the records; the
+    returned dict carries ``campaign`` and the ``metrics`` snapshot.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ObsError(
+            f"no metrics snapshot at {path}; run the campaign first "
+            "(every persisted run writes one)"
+        )
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(raw, dict) or "metrics" not in raw:
+        raise ObsError(f"{path} does not look like a metrics snapshot "
+                       "(missing the 'metrics' key)")
+    metrics = raw["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            raise ObsError(
+                f"{path}: metrics snapshot is missing the {section!r} section"
+            )
+    return raw

@@ -1,0 +1,162 @@
+"""Live campaign progress: rate, ETA, per-shard completion, CI-safe output.
+
+A :class:`ProgressReporter` is a tracer *subscriber* — it consumes the
+same event stream ``--trace`` persists (run spans, shard marks, resume
+replays) and renders a one-line status to stderr.  Because it rides the
+event bus it needs no hooks of its own in the engine: anything the trace
+records, progress can show, and the two can never disagree about what
+happened.
+
+Two output modes, chosen by ``stream.isatty()`` unless forced:
+
+* **TTY** — a single line redrawn in place (``\\r``), rate-limited to
+  ``min_interval`` seconds so a fast campaign does not melt the terminal;
+* **line mode** (CI logs, redirected stderr) — a full line printed at
+  most every ``line_interval`` seconds, plus one final summary line, so
+  logs stay short and greppable.
+
+The ETA is the naive completed-so-far rate extrapolation — honest for
+grids of similar-cost runs (the common case), clearly labelled either
+way.  Cached and resumed runs count toward completion but are excluded
+from the rate, so a warm cache does not fake an absurd ETA for the cold
+remainder.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = ["ProgressReporter"]
+
+_clock = time.perf_counter
+
+
+class ProgressReporter:
+    """Renders campaign progress from trace events (see module docstring).
+
+    Parameters
+    ----------
+    stream:
+        Output stream; defaults to ``sys.stderr`` resolved lazily at
+        first event (so pytest capture and late redirection behave).
+    tty:
+        Force TTY (``True``) or line mode (``False``); default sniffs
+        ``stream.isatty()``.
+    min_interval / line_interval:
+        Redraw rate limits for the two modes, in seconds.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        *,
+        tty: bool | None = None,
+        min_interval: float = 0.1,
+        line_interval: float = 2.0,
+    ) -> None:
+        self._stream = stream
+        self._tty = tty
+        self.min_interval = min_interval
+        self.line_interval = line_interval
+        self.campaign = ""
+        self.total = 0        # runs this invocation will land
+        self.done = 0         # landed (executed + cached + replayed)
+        self.cached = 0
+        self.resumed = 0
+        self.executed = 0
+        self.shard: tuple[int, int] | None = None  # (index, shards)
+        self._t_start: float | None = None
+        self._t_last_draw = float("-inf")
+        self._drew_tty_line = False
+
+    # ------------------------------------------------------------------ #
+    # event bus
+    # ------------------------------------------------------------------ #
+
+    def on_event(self, event: dict) -> None:
+        """Tracer subscriber entry point: fold one event, maybe redraw."""
+        kind, name = event.get("kind"), event.get("name")
+        attrs: dict[str, Any] = event.get("attrs", {})
+        if kind == "mark" and name == "campaign-start":
+            self.campaign = attrs.get("campaign", "")
+            self.total = int(attrs.get("runs", 0))
+            self._t_start = _clock()
+            self._draw(force=True)
+        elif kind == "mark" and name == "shard-start":
+            if attrs.get("shards", 1) > 1 and attrs.get("shard") is not None:
+                self.shard = (int(attrs["shard"]), int(attrs["shards"]))
+                self._draw(force=True)
+        elif kind == "mark" and name == "resume-replay":
+            replayed = int(attrs.get("replayed", 0))
+            self.done += replayed
+            self.resumed += replayed
+            self._draw(force=True)
+        elif kind == "span" and name == "run":
+            self.done += 1
+            if attrs.get("cached"):
+                self.cached += 1
+            else:
+                self.executed += 1
+            self._draw()
+        elif kind == "mark" and name == "campaign-end":
+            self._finish()
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def _resolve_stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _is_tty(self, stream: TextIO) -> bool:
+        if self._tty is not None:
+            return self._tty
+        isatty = getattr(stream, "isatty", None)
+        return bool(isatty()) if callable(isatty) else False
+
+    def _status(self) -> str:
+        parts = [f"{self.campaign or 'campaign'}: {self.done}/{self.total} runs"]
+        extras = []
+        if self.cached:
+            extras.append(f"{self.cached} cached")
+        if self.resumed:
+            extras.append(f"{self.resumed} resumed")
+        if extras:
+            parts.append(f"({', '.join(extras)})")
+        elapsed = 0.0 if self._t_start is None else _clock() - self._t_start
+        if self.executed and elapsed > 0:
+            rate = self.executed / elapsed
+            parts.append(f"{rate:.1f} runs/s")
+            remaining = max(0, self.total - self.done)
+            if remaining and rate > 0:
+                parts.append(f"eta {remaining / rate:.1f}s")
+        if self.shard is not None:
+            parts.append(f"[shard {self.shard[0] + 1}/{self.shard[1]}]")
+        return " ".join(parts)
+
+    def _draw(self, *, force: bool = False) -> None:
+        stream = self._resolve_stream()
+        tty = self._is_tty(stream)
+        now = _clock()
+        interval = self.min_interval if tty else self.line_interval
+        if not force and now - self._t_last_draw < interval:
+            return
+        self._t_last_draw = now
+        if tty:
+            stream.write("\r\x1b[K" + self._status())
+            self._drew_tty_line = True
+        else:
+            stream.write(self._status() + "\n")
+        stream.flush()
+
+    def _finish(self) -> None:
+        stream = self._resolve_stream()
+        if self._is_tty(stream):
+            if self._drew_tty_line:
+                stream.write("\r\x1b[K")
+            stream.write(self._status() + " done\n")
+        else:
+            stream.write(self._status() + " done\n")
+        stream.flush()

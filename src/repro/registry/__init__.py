@@ -2,7 +2,7 @@
 
 The paper's pipeline is *build a graph, run a one-round protocol under a
 referee, measure bits*; this package is where the pluggable pieces of that
-pipeline are named.  Four typed registries cover the four kinds:
+pipeline are named.  Six typed registries cover the six kinds:
 
 ========================  ===========================================  =====================
 kind                      what the factory builds                      registered by
@@ -12,6 +12,7 @@ kind                      what the factory builds                      registere
 ``experiment``            ``(**params) -> (title, headers, rows)``     ``repro.analysis.experiments``
 ``campaign``              ``() -> list[Scenario]``                     ``repro.engine.campaign``
 ``benchmark``             ``(**params) -> BenchCase``                  ``repro.bench.builtin``
+``span``                  ``() -> tuple[str, ...]`` (attr keys)        ``repro.obs.taxonomy``
 ========================  ===========================================  =====================
 
 Modules self-register with the :func:`register` decorator::
@@ -58,6 +59,7 @@ __all__ = [
     "EXPERIMENT",
     "CAMPAIGN",
     "BENCHMARK",
+    "SPAN",
     "KINDS",
     "register",
     "registry_for",
@@ -109,9 +111,17 @@ BENCHMARK: Registry = Registry(
     modules=("repro.bench.builtin",),
 )
 
+#: The trace-span taxonomy: ``() -> tuple[str, ...]`` (the span's attr keys).
+SPAN: Registry = Registry(
+    "span",
+    label="trace span",
+    modules=("repro.obs.taxonomy",),
+)
+
 #: kind key -> registry, in catalog order.
 KINDS: dict[str, Registry] = {
-    r.kind: r for r in (GRAPH_FAMILY, PROTOCOL, EXPERIMENT, CAMPAIGN, BENCHMARK)
+    r.kind: r
+    for r in (GRAPH_FAMILY, PROTOCOL, EXPERIMENT, CAMPAIGN, BENCHMARK, SPAN)
 }
 
 

@@ -27,6 +27,7 @@ from repro.engine.scenario import SPEC_VERSION, RunSpec
 
 __all__ = [
     "RECORD_VERSION",
+    "check_mapping",
     "validate_record",
     "migrate_record",
     "iter_records",
@@ -112,22 +113,40 @@ def _type_names(allowed: tuple[type, ...]) -> str:
     return "/".join("null" if t is type(None) else t.__name__ for t in allowed)
 
 
-def _check_mapping(
-    obj: Any, fields: Mapping[str, tuple[type, ...]], path: str, where: str
+def check_mapping(
+    obj: Any,
+    fields: Mapping[str, tuple[type, ...]],
+    path: str,
+    where: str,
+    *,
+    error: type[Exception] = SchemaError,
 ) -> None:
+    """Strictly check ``obj`` against a field->types schema, or raise.
+
+    The one validator behind every structured artifact this library
+    reads: unknown keys, missing keys, and wrong types (bool never
+    satisfies an int/float slot) all raise ``error`` — by default
+    :class:`~repro.errors.SchemaError` for campaign records, but other
+    schema owners (the trace event stream in :mod:`repro.obs.events`)
+    pass their own hierarchy so callers can keep catching one type.
+    """
     if not isinstance(obj, dict):
-        raise SchemaError(f"{where}: {path} must be an object, got {type(obj).__name__}")
+        raise error(f"{where}: {path} must be an object, got {type(obj).__name__}")
     unknown = set(obj) - set(fields)
     if unknown:
-        raise SchemaError(f"{where}: unknown key(s) {sorted(unknown)} in {path}")
+        raise error(f"{where}: unknown key(s) {sorted(unknown)} in {path}")
     for key, allowed in fields.items():
         if key not in obj:
-            raise SchemaError(f"{where}: missing key {path}.{key}")
+            raise error(f"{where}: missing key {path}.{key}")
         if not _type_ok(obj[key], allowed):
-            raise SchemaError(
+            raise error(
                 f"{where}: {path}.{key} must be {_type_names(allowed)}, "
                 f"got {type(obj[key]).__name__}"
             )
+
+
+# The record validators below always raise SchemaError.
+_check_mapping = check_mapping
 
 
 def _check_params(obj: Mapping[str, Any], path: str, where: str) -> None:

@@ -25,7 +25,7 @@ class TestCli:
         assert main(["list", "--json"]) == 0
         catalog = json.loads(capsys.readouterr().out)
         assert set(catalog) == {"benchmark", "campaign", "experiment",
-                                "graph_family", "protocol"}
+                                "graph_family", "protocol", "span"}
         assert "EXP-T5" in catalog["experiment"]
         assert "smoke" in catalog["campaign"]
         deg = catalog["protocol"]["degeneracy"]

@@ -1,0 +1,119 @@
+"""ProgressReporter: event folding, both output modes, honest ETA inputs.
+
+The reporter is a plain tracer subscriber — these tests drive it with
+synthetic events (the same dicts the engine emits) and with a real traced
+campaign, checking the CI-safe line mode, the TTY redraw mode, and that
+cached/resumed runs count toward completion without polluting the rate.
+"""
+
+import io
+
+from repro.engine import Campaign, Scenario
+from repro.obs.progress import ProgressReporter
+from repro.obs.trace import EVENT_VERSION
+
+
+def _mark(name, **attrs):
+    return {"v": EVENT_VERSION, "kind": "mark", "name": name, "t": 0.0,
+            "attrs": attrs}
+
+
+def _run_span(**attrs):
+    return {"v": EVENT_VERSION, "kind": "span", "name": "run", "span": 1,
+            "parent": None, "t0": 0.0, "dur": 0.1, "attrs": attrs}
+
+
+class TestEventFolding:
+    def test_counts_runs_toward_completion(self):
+        reporter = ProgressReporter(io.StringIO(), tty=False)
+        reporter.on_event(_mark("campaign-start", campaign="c", runs=3))
+        reporter.on_event(_run_span(cached=False))
+        reporter.on_event(_run_span(cached=True))
+        assert (reporter.done, reporter.executed, reporter.cached) == (2, 1, 1)
+        assert reporter.total == 3
+        assert reporter.campaign == "c"
+
+    def test_resume_replay_counts_without_touching_the_rate(self):
+        reporter = ProgressReporter(io.StringIO(), tty=False)
+        reporter.on_event(_mark("campaign-start", campaign="c", runs=6))
+        reporter.on_event(_mark("resume-replay", replayed=4))
+        assert reporter.done == 4
+        assert reporter.resumed == 4
+        assert reporter.executed == 0  # replays never feed the runs/s rate
+
+    def test_shard_position_is_tracked(self):
+        reporter = ProgressReporter(io.StringIO(), tty=False)
+        reporter.on_event(_mark("shard-start", shard=1, shards=3, runs=2))
+        assert reporter.shard == (1, 3)
+
+    def test_monolithic_shard_mark_is_ignored(self):
+        reporter = ProgressReporter(io.StringIO(), tty=False)
+        reporter.on_event(_mark("shard-start", shard=0, shards=1, runs=2))
+        assert reporter.shard is None
+
+
+class TestLineMode:
+    def test_ci_logs_get_full_lines_and_a_final_summary(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, tty=False)
+        reporter.on_event(_mark("campaign-start", campaign="c", runs=2))
+        reporter.on_event(_run_span(cached=False))
+        reporter.on_event(_run_span(cached=False))
+        reporter.on_event(_mark("campaign-end"))
+        out = stream.getvalue()
+        assert "\r" not in out  # line mode never redraws in place
+        assert out.splitlines()[-1].startswith("c: 2/2 runs")
+        assert out.splitlines()[-1].endswith("done")
+
+    def test_lines_are_rate_limited(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, tty=False, line_interval=3600)
+        reporter.on_event(_mark("campaign-start", campaign="c", runs=50))
+        for _ in range(50):
+            reporter.on_event(_run_span(cached=False))
+        reporter.on_event(_mark("campaign-end"))
+        # One forced start line + one final summary; the 50 run events
+        # collapsed into the interval.
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_cached_and_resumed_show_in_the_status(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, tty=False)
+        reporter.on_event(_mark("campaign-start", campaign="c", runs=4))
+        reporter.on_event(_mark("resume-replay", replayed=2))
+        reporter.on_event(_run_span(cached=True))
+        reporter.on_event(_mark("campaign-end"))
+        final = stream.getvalue().splitlines()[-1]
+        assert "1 cached" in final
+        assert "2 resumed" in final
+
+
+class TestTtyMode:
+    def test_tty_redraws_in_place_and_clears_before_the_summary(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, tty=True, min_interval=0.0)
+        reporter.on_event(_mark("campaign-start", campaign="c", runs=2))
+        reporter.on_event(_run_span(cached=False))
+        reporter.on_event(_mark("campaign-end"))
+        out = stream.getvalue()
+        assert "\r\x1b[K" in out
+        assert out.endswith("done\n")
+
+
+class TestOnTheRealEventBus:
+    def test_campaign_run_drives_the_reporter(self, tmp_path):
+        scenarios = [
+            Scenario(name="forest", family="random_forest", sizes=(12,),
+                     protocol="forest", seeds=(0, 1, 2)),
+        ]
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, tty=False, line_interval=0.0)
+        result = Campaign(scenarios, name="c", results_dir=tmp_path).run(
+            progress=reporter
+        )
+        assert reporter.done == len(result.records) == 3
+        final = stream.getvalue().splitlines()[-1]
+        assert final.startswith("c: 3/3 runs")
+        assert final.endswith("done")
+        # progress alone persists no event stream
+        assert result.events_path is None
