@@ -41,7 +41,13 @@ from scratch, everything the paper builds on it:
   ``<name>.events.jsonl`` telemetry, always-on campaign metrics
   (counters/gauges/histograms, Prometheus-renderable), live progress
   reporting, and the ``repro trace`` / ``repro stats`` readers — off by
-  default and provably free (the ``trace-overhead`` benchmark pins it).
+  default and provably free (the ``trace-overhead`` benchmark pins it);
+* the **campaign service** (:mod:`repro.serve`): a zero-dependency asyncio
+  HTTP/JSON daemon (``python -m repro serve``) with a durable, restart-
+  recoverable job store, priority admission with backpressure, a
+  shard-pulling worker pool riding the engine's checkpoint/resume
+  machinery, streaming JSONL record follow, and a stdlib thin client
+  (``repro submit`` / ``jobs`` / ``job`` and ``Session.submit(url)``).
 
 Quickstart (the fluent pipeline)::
 
@@ -73,7 +79,7 @@ campaign quickstart.
 import importlib
 from typing import Any
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Lazy export map (PEP 562): public name -> defining module.  `import
 #: repro` stays cheap — protocols, engine, sketching, and the analysis
@@ -144,6 +150,14 @@ _LAZY_EXPORTS = {
     "aggregate": "repro.results",
     "diff_campaigns": "repro.results",
     "load_records": "repro.results",
+    # campaign service
+    "ServeError": "repro.errors",
+    "JobNotFound": "repro.errors",
+    "QueueFull": "repro.errors",
+    "ServeClient": "repro.serve",
+    "RemoteJob": "repro.serve",
+    "ReproServer": "repro.serve",
+    "ServerThread": "repro.serve",
 }
 
 __all__ = ["__version__", *_LAZY_EXPORTS]

@@ -33,7 +33,9 @@ Scale-out rides the same chain: ``.persist(dir).shard(3, index=1)`` runs
 one worker's slice of the campaign (durable stream + completion mark),
 ``.shard(3)`` runs every shard in-process with checkpoints and
 auto-merges, and ``.resume()`` replays the durable prefix of an
-interrupted run — see :mod:`repro.engine.shard`.
+interrupted run — see :mod:`repro.engine.shard`.  ``.submit(url)`` ships
+the same campaign to a running ``repro serve`` daemon instead and returns
+a :class:`~repro.serve.client.RemoteJob` handle — see :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -317,6 +319,39 @@ class Session:
             with make_executor(self._executor_kind, self._jobs) as ex:
                 result = campaign.run(ex, **kwargs)
         return SessionRun(session=self, result=result)
+
+    def submit(self, url: str | None = None, *, priority: str = "normal"):
+        """Submit this session's campaign to a running daemon (DESIGN.md §9).
+
+        The builder state maps straight onto the submission: the built
+        campaign travels as an inline spec, ``.shard(n)`` becomes the
+        job's shard count (each shard independently scheduled on the
+        daemon's worker pool), ``.executor(kind, jobs=...)`` its
+        per-shard backend, and ``.persist(use_cache=...)`` its cache
+        flag.  Results live under the daemon's job store, not this
+        process's ``results_dir``.  Returns the
+        :class:`~repro.serve.client.RemoteJob` handle — ``wait()`` it,
+        stream its ``records()``, fetch its ``summary()``, or
+        ``cancel()`` it::
+
+            job = (Session("sweep")
+                   .graphs("random_forest", n=[32, 64], seeds=range(4))
+                   .protocol("forest")
+                   .shard(2)
+                   .submit("http://127.0.0.1:7341"))
+            print(job.wait()["state"])          # "done"
+        """
+        from repro.serve.client import DEFAULT_URL, ServeClient
+
+        campaign = self.build()  # validates blocks/protocol before the wire
+        return ServeClient(url or DEFAULT_URL).submit(
+            spec=campaign.to_dict(),
+            shards=self._shards or 1,
+            priority=priority,
+            executor=self._executor_kind,
+            jobs=self._jobs,
+            use_cache=self._use_cache,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         blocks = ", ".join(b.family for b in self._blocks) or "(no graphs)"

@@ -382,3 +382,89 @@ def _bench_campaign_resume(scale: float = 1.0) -> BenchCase:
 
     return BenchCase(op=op, meta={"family": "random_forest", "n": n,
                                   "seeds": len(seeds), "shards": 2})
+
+
+# --------------------------------------------------------------------- #
+# the campaign service (control plane, not compute)
+# --------------------------------------------------------------------- #
+
+
+def _serve_fixture():
+    """A quiesced in-process daemon: ``workers=0`` so nothing executes.
+
+    With no workers pulling assignments, every submitted job stays
+    ``queued`` and every measured quantity is pure control-plane cost —
+    HTTP round trip, validation, durable job-state write — with
+    deterministic state digests (no records, no wall-clock-dependent
+    transitions on the timed path).  The server thread and its temp store
+    root live in the returned closure cell for the whole bench run.
+    """
+    import tempfile
+
+    from repro.serve import ServeClient, ServerThread
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
+    server = ServerThread(tmp.name, workers=0, executor="serial",
+                          queue_limit=1_000_000).start()
+    return tmp, server, ServeClient(server.url)
+
+
+def _job_identity(view: dict) -> tuple:
+    """The deterministic slice of a job view (no IDs, no timestamps)."""
+    return (view["state"], view["name"], view["shards"], view["priority"],
+            view["records"], view["resumed"])
+
+
+@register("serve-submit-latency", kind="benchmark",
+          capabilities=("serve", "end-to-end"),
+          summary="Job submission round trip over the serve HTTP API "
+                  "(validate + persist + enqueue + cancel).")
+def _bench_serve_submit_latency(scale: float = 1.0) -> BenchCase:
+    tmp, server, client = _serve_fixture()
+    batch = _scaled(12, scale, lo=4)
+
+    def op():
+        # `tmp`/`server` are closed over here, keeping the daemon alive
+        # across repeats; cancelling frees every admission slot so each
+        # repeat starts from the same queue state.
+        assert tmp is not None and server is not None
+        identities = []
+        for i in range(batch):
+            job = client.submit("smoke", shards=1 + i % 3,
+                                priority=("high", "normal", "low")[i % 3])
+            identities.append(_job_identity(job.view))
+            identities.append(_job_identity(job.cancel()))
+        return {"ops": batch, "digest": _digest(sorted(identities))}
+
+    return BenchCase(op=op, meta={"batch": batch, "workers": 0,
+                                  "transport": "http"})
+
+
+@register("serve-status-poll", kind="benchmark",
+          capabilities=("serve", "end-to-end"),
+          summary="Status-poll throughput over the serve HTTP API "
+                  "(job view + per-shard progress + listing).")
+def _bench_serve_status_poll(scale: float = 1.0) -> BenchCase:
+    tmp, server, client = _serve_fixture()
+    jobs = [client.submit("smoke", shards=2) for _ in range(_scaled(4, scale, lo=2))]
+    polls = _scaled(30, scale, lo=8)
+
+    def op():
+        # `tmp`/`server` closed over: the daemon (and its queued jobs,
+        # pinned by workers=0) lives for the whole bench run.
+        assert tmp is not None and server is not None
+        identities = []
+        for i in range(polls):
+            view = client.job(jobs[i % len(jobs)].id)
+            identities.append(
+                _job_identity(view) + (view["progress"]["records"],)
+            )
+        listed = client.jobs()
+        return {
+            "ops": polls,
+            "digest": _digest([sorted(identities),
+                               sorted(_job_identity(v) for v in listed)]),
+        }
+
+    return BenchCase(op=op, meta={"jobs": len(jobs), "polls": polls,
+                                  "workers": 0, "transport": "http"})

@@ -19,15 +19,23 @@ Usage::
     python -m repro baseline check results/smoke.jsonl benchmarks/baselines/smoke.json
     python -m repro bench --json                   # perf suite -> BENCH_PR4.json
     python -m repro bench --gate benchmarks/baselines/bench.json  # exit 1 on regression
+    python -m repro serve --root serve-data        # the campaign service daemon
+    python -m repro submit smoke --shards 2        # submit a job over HTTP
+    python -m repro jobs                           # list the daemon's jobs
+    python -m repro job j000001 --follow           # follow one to completion
 
 ``python -m repro EXP-L2`` / ``python -m repro all`` remain as aliases for
 the ``experiment`` subcommand so existing scripts keep working.
 
-Exit codes: 0 success, 1 gate failure (``diff`` found differences,
+Exit codes: 0 success, 1 gate/domain failure (``diff`` found differences,
 ``baseline check`` failed, ``bench --gate`` regressed, ``merge`` found
-incomplete shards — retry after resuming them), 2 usage error (unknown
-subcommand, malformed flags, unreadable or schema-invalid input, bad shard
-geometry, ``--resume`` without a manifest or against a stale/edited one).
+incomplete shards — retry after resuming them, ``submit`` refused by a
+full queue — retry later, ``job`` landed failed/cancelled), 2 usage or
+connection error (unknown subcommand, malformed flags, unreadable or
+schema-invalid input, bad shard geometry, ``--resume`` without a manifest
+or against a stale/edited one, no daemon listening at ``--url``, an
+unknown job ID).  An interrupted ``campaign`` returns 130 after releasing
+its workers (partial results stay durable — re-run with ``--resume``).
 Argparse errors are converted to return codes — :func:`main` never lets
 ``SystemExit`` escape.
 
@@ -48,15 +56,20 @@ from repro.analysis import format_table
 __all__ = ["main"]
 
 _SUBCOMMANDS = ("list", "experiment", "campaign", "merge", "report", "diff",
-                "baseline", "bench", "trace", "stats")
+                "baseline", "bench", "trace", "stats", "serve", "submit",
+                "jobs", "job")
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction harness for Becker et al., 'Adding a referee "
         "to an interconnection network' (IPDPS 2011).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(
         dest="command", metavar="{" + ",".join(_SUBCOMMANDS) + "}"
     )
@@ -190,6 +203,80 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="where metrics snapshots live (default: results/)")
     p_stats.add_argument("--json", action="store_true",
                          help="emit the raw snapshot as JSON")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign service daemon (HTTP/JSON on "
+        "--host:--port; Ctrl-C or SIGTERM stops it cleanly)")
+    p_serve.add_argument("--host", default=None, metavar="HOST",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                         help="listen port (default: 7341; 0 picks an "
+                         "ephemeral port, printed in the banner)")
+    p_serve.add_argument("--root", default="serve-data", metavar="DIR",
+                         help="the durable job store root (default: "
+                         "serve-data/; restart on the same root resumes "
+                         "unfinished jobs)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="shard-pulling worker tasks (default: 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                         help="max active (queued+running) jobs before "
+                         "submissions get 429 (default: 16)")
+    p_serve.add_argument("--executor", choices=("serial", "thread", "process"),
+                         default="process",
+                         help="execution backend per shard (default: process)")
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="pool size inside each shard's executor "
+                         "(default: all cores)")
+    p_serve.add_argument("--shard-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="hard per-shard wall-clock limit "
+                         "(default: none)")
+    p_serve.add_argument("--retries", type=int, default=2, metavar="N",
+                         help="re-runs of a shard whose worker process "
+                         "crashed (default: 2)")
+
+    url_help = ("daemon URL (default: $REPRO_SERVE_URL or "
+                "http://127.0.0.1:7341)")
+    p_submit = sub.add_parser(
+        "submit", help="submit a campaign job to a running daemon")
+    p_submit.add_argument("campaign", help="builtin campaign name or path to "
+                          "a JSON spec")
+    p_submit.add_argument("--url", default=None, metavar="URL", help=url_help)
+    p_submit.add_argument("--shards", type=int, default=1, metavar="N",
+                          help="split the grid into N independently-"
+                          "scheduled shards (default: 1)")
+    p_submit.add_argument("--priority", choices=("high", "normal", "low"),
+                          default="normal",
+                          help="queue priority class (default: normal)")
+    p_submit.add_argument("--executor", choices=("serial", "thread", "process"),
+                          default=None,
+                          help="override the daemon's executor for this job")
+    p_submit.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="override the daemon's per-shard pool size")
+    p_submit.add_argument("--no-cache", action="store_true",
+                          help="recompute every run, ignoring cached results")
+    p_submit.add_argument("--follow", action="store_true",
+                          help="after submitting, follow the job to "
+                          "completion (like `repro job <id> --follow`)")
+    p_submit.add_argument("--json", action="store_true",
+                          help="emit the created job view as JSON")
+
+    p_jobs = sub.add_parser("jobs", help="list a daemon's jobs")
+    p_jobs.add_argument("--url", default=None, metavar="URL", help=url_help)
+    p_jobs.add_argument("--json", action="store_true",
+                        help="emit the job list as JSON")
+
+    p_job = sub.add_parser(
+        "job", help="show one job (exit 0 done, 1 failed/cancelled)")
+    p_job.add_argument("id", help="job ID (e.g. j000001; see `repro jobs`)")
+    p_job.add_argument("--url", default=None, metavar="URL", help=url_help)
+    p_job.add_argument("--follow", action="store_true",
+                       help="poll until the job is terminal, printing "
+                       "progress")
+    p_job.add_argument("--cancel", action="store_true",
+                       help="request cancellation instead of showing the job")
+    p_job.add_argument("--json", action="store_true",
+                       help="emit the (final) job view as JSON")
     return parser
 
 
@@ -296,6 +383,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # in the message
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # the with-block already cancelled pending work and reaped the
+        # pool; everything durably written so far replays on --resume
+        print(f"\ninterrupted: workers released; partial results are "
+              f"durable — re-run with --resume to finish", file=sys.stderr)
+        return 130
 
     summary = result.summary()
     if args.json:
@@ -579,6 +672,186 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_url(args: argparse.Namespace) -> str:
+    import os
+
+    from repro.serve.client import DEFAULT_URL
+
+    return args.url or os.environ.get("REPRO_SERVE_URL") or DEFAULT_URL
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.serve.http import DEFAULT_HOST, DEFAULT_PORT, ReproServer
+
+    host = DEFAULT_HOST if args.host is None else args.host
+    port = DEFAULT_PORT if args.port is None else args.port
+    try:
+        server = ReproServer(
+            args.root, host=host, port=port, workers=args.workers,
+            queue_limit=args.queue_limit, executor=args.executor,
+            jobs=args.jobs, shard_timeout=args.shard_timeout,
+            retries=args.retries,
+        )
+    except (ReproError, OSError) as exc:  # bad pool size, unwritable root
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def banner() -> None:
+        # flush: subprocess tests parse this line for the bound port
+        print(f"repro serve: listening on http://{server.host}:{server.port} "
+              f"(root: {args.root}, workers: {args.workers}, "
+              f"executor: {args.executor})", flush=True)
+
+    try:
+        asyncio.run(server.run_until_interrupted(ready=banner))
+    except OSError as exc:  # bind failure: port in use, bad host
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # Ctrl-C before the signal handler is live
+        return 130
+    print("repro serve: stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.errors import QueueFull, ServeError
+    from repro.serve.client import ServeClient
+
+    # A path-shaped argument is an inline spec; anything else is a
+    # builtin campaign name the daemon resolves against its registry.
+    source = pathlib.Path(args.campaign)
+    name, spec = args.campaign, None
+    if source.suffix == ".json" or source.exists():
+        try:
+            spec = json.loads(source.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            print(f"error: cannot read spec {args.campaign}: {exc}",
+                  file=sys.stderr)
+            return 2
+        name = None
+    try:
+        client = ServeClient(_serve_url(args))
+        job = client.submit(
+            name, spec=spec, shards=args.shards, priority=args.priority,
+            executor=args.executor, jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
+    except QueueFull as exc:  # a full queue is a retryable domain refusal
+        print(f"queue full: {exc} (retry in {exc.retry_after:.0f}s)",
+              file=sys.stderr)
+        return 1
+    except ServeError as exc:  # bad submission or no daemon at --url
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.follow:
+        return _follow(client, job.id, as_json=args.json)
+    if args.json:
+        print(json.dumps(job.view, indent=2, sort_keys=True))
+        return 0
+    print(f"submitted {job.id}: {job.view['name']} x{job.view['shards']} "
+          f"shard(s), priority {job.view['priority']} -> {client.url}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+
+    try:
+        jobs = ServeClient(_serve_url(args)).jobs()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [[j["id"], j["name"], j["state"], j["priority"],
+             f"{len(j['shards_done'])}/{j['shards']}", j["records"]]
+            for j in jobs]
+    print(format_table(
+        f"{len(jobs)} job(s)",
+        ["id", "campaign", "state", "priority", "shards", "records"], rows,
+    ))
+    return 0
+
+
+def _follow(client: Any, job_id: str, *, as_json: bool) -> int:
+    """Poll a job to a terminal state, printing progress transitions."""
+    import time
+
+    from repro.errors import ServeError
+    from repro.serve.store import TERMINAL_STATES
+
+    last = None
+    while True:
+        view = client.job(job_id)
+        progress = view.get("progress") or {}
+        line = (f"{job_id}: {view['state']}  "
+                f"shards {len(view['shards_done'])}/{view['shards']}  "
+                f"records {progress.get('records', 0)}"
+                f"/{progress.get('total', 0) or '?'}")
+        if not as_json and line != last:
+            print(line, flush=True)
+            last = line
+        if view["state"] in TERMINAL_STATES:
+            break
+        time.sleep(0.2)
+    return _job_epilogue(view, as_json=as_json)
+
+
+def _job_epilogue(view: dict[str, Any], *, as_json: bool) -> int:
+    """Final job view -> output + exit code (0 done, 1 failed/cancelled)."""
+    if as_json:
+        print(json.dumps(view, indent=2, sort_keys=True))
+    else:
+        if view["state"] == "done" and view.get("jsonl"):
+            print(f"  records -> {view['jsonl']}")
+        if view.get("error"):
+            print(f"  error: {view['error']}")
+    return 0 if view["state"] == "done" else 1
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    from repro.errors import JobNotFound, ServeError
+    from repro.serve.client import ServeClient
+    from repro.serve.store import TERMINAL_STATES
+
+    client = ServeClient(_serve_url(args))
+    try:
+        if args.cancel:
+            view = client.cancel(args.id)
+        elif args.follow:
+            return _follow(client, args.id, as_json=args.json)
+        else:
+            view = client.job(args.id)
+    except JobNotFound as exc:  # a typo'd ID is usage, like a bad flag
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(view, indent=2, sort_keys=True))
+        return 0 if view["state"] not in ("failed", "cancelled") else 1
+    progress = view.get("progress") or {}
+    print(f"{view['id']}: {view['name']}  state={view['state']}  "
+          f"priority={view['priority']}  "
+          f"shards {len(view['shards_done'])}/{view['shards']}  "
+          f"records {progress.get('records', view.get('records', 0))}"
+          f"/{progress.get('total', 0) or '?'}")
+    if view["state"] in TERMINAL_STATES:
+        return _job_epilogue(view, as_json=False)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Back-compat: `python -m repro EXP-T5` / `all` mean `experiment <id>`.
@@ -616,6 +889,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+    if args.command == "job":
+        return _cmd_job(args)
     return _cmd_baseline(args)
 
 

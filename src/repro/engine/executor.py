@@ -186,14 +186,25 @@ class Executor(ABC):
         results = self.map(_local_batch, [(protocol, g, chunk) for chunk in chunks])
         return [pair for batch in results for pair in batch]
 
-    def close(self) -> None:
-        """Release pooled workers; the serial backend has nothing to do."""
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Release pooled workers; the serial backend has nothing to do.
+
+        ``cancel_pending`` discards work that has not started yet before
+        joining the in-flight workers — the shutdown-hygiene path for
+        KeyboardInterrupt and daemon teardown, where chewing through a
+        queued backlog just to exit would hang the process (and, for
+        process pools, leave children alive well past the interrupt).
+        In-flight tasks always run to completion either way: workers are
+        joined, never orphaned.
+        """
 
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object = None, *exc: object) -> None:
+        # An exceptional exit (KeyboardInterrupt, a crashed run) must not
+        # execute the rest of a queued backlog before releasing workers.
+        self.close(cancel_pending=exc_type is not None)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(jobs={self.jobs})"
@@ -244,10 +255,14 @@ class _PooledExecutor(Executor):
         # input order as results complete — lazy consumption, full fan-out.
         return self._ensure_pool().map(fn, items)
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def close(self, *, cancel_pending: bool = False) -> None:
+        # Thread-safe and idempotent: concurrent.futures' shutdown may be
+        # called from any thread, any number of times — the serve daemon
+        # closes active executors from its event loop while the owning
+        # worker thread is still iterating results.
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=cancel_pending)
 
 
 class ThreadPoolExecutor(_PooledExecutor):

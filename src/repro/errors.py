@@ -31,6 +31,9 @@ __all__ = [
     "ShardIncomplete",
     "ObsError",
     "WorkerCrash",
+    "ServeError",
+    "JobNotFound",
+    "QueueFull",
 ]
 
 
@@ -199,3 +202,34 @@ class WorkerCrash(ObsError):
         self.spec_hash = spec_hash
         self.shard_index = shard_index
         self.worker = worker
+
+
+class ServeError(ReproError):
+    """Raised by the campaign service (:mod:`repro.serve`): a malformed
+    submission, an unreachable daemon, an HTTP error the client cannot
+    express more precisely, or a corrupt job-store entry."""
+
+
+class JobNotFound(ServeError):
+    """A job ID was looked up in the job store that has no such entry.
+
+    Carries ``job_id`` so callers (and the HTTP layer, which maps this to
+    404) can name the missing job without parsing the message.
+    """
+
+    def __init__(self, message: str, *, job_id: str = ""):
+        super().__init__(message)
+        self.job_id = job_id
+
+
+class QueueFull(ServeError):
+    """A submission was refused because the service is at capacity.
+
+    The HTTP layer maps this to 429 with a ``Retry-After`` header;
+    ``retry_after`` is the server's estimate (seconds) of when capacity
+    frees up, derived from the job wall-seconds histogram when one exists.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -85,6 +85,45 @@ class MetricsRegistry:
         """Current counter value (0 when the series never fired)."""
         return self._counters.get(_series_key(name, labels), 0)
 
+    def gauge(self, name: str, **labels: Any) -> float:
+        """Current gauge value (0 when the series was never set)."""
+        return self._gauges.get(_series_key(name, labels), 0)
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        The aggregation a long-lived service needs: each finished
+        campaign's snapshot folds into the fleet-level registry so
+        ``/metrics`` shows cumulative totals.  Counters add, gauges take
+        the incoming value (last write wins — same as :meth:`set_gauge`),
+        histograms fold count/total/min/max (the derived ``mean`` of the
+        incoming snapshot is ignored and recomputed at the next
+        :meth:`to_dict`).  Raises :class:`ObsError` on a snapshot missing
+        one of the three sections, so a truncated file cannot fold in
+        silently.
+        """
+        for section in ("counters", "gauges", "histograms"):
+            if section not in snapshot:
+                raise ObsError(
+                    f"metrics snapshot is missing the {section!r} section"
+                )
+        for key, value in snapshot["counters"].items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in snapshot["gauges"].items():
+            self._gauges[key] = value
+        for key, incoming in snapshot["histograms"].items():
+            h = self._histograms.get(key)
+            if h is None:
+                self._histograms[key] = {
+                    "count": incoming["count"], "total": incoming["total"],
+                    "min": incoming["min"], "max": incoming["max"],
+                }
+            else:
+                h["count"] += incoming["count"]
+                h["total"] += incoming["total"]
+                h["min"] = min(h["min"], incoming["min"])
+                h["max"] = max(h["max"], incoming["max"])
+
     def to_dict(self) -> dict[str, Any]:
         """The stable snapshot: sorted keys, histogram means derived."""
         return {

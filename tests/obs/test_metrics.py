@@ -138,3 +138,52 @@ class TestLoadMetricsFile:
         path.write_text(json.dumps({"campaign": "c"}))
         with pytest.raises(ObsError, match="missing the 'metrics' key"):
             load_metrics_file(path)
+
+
+class TestMerge:
+    """Snapshot folding — the serve daemon's fleet-level aggregation."""
+
+    def test_counters_add_and_gauges_take_the_incoming_value(self):
+        fleet, run = MetricsRegistry(), MetricsRegistry()
+        fleet.inc("runs_started", 3)
+        fleet.set_gauge("cache_hit_ratio", 0.25)
+        run.inc("runs_started", 5)
+        run.inc("runs_completed", 5, status="ok")
+        run.set_gauge("cache_hit_ratio", 0.75)
+        fleet.merge(run.to_dict())
+        assert fleet.counter("runs_started") == 8
+        assert fleet.counter("runs_completed", status="ok") == 5
+        assert fleet.gauge("cache_hit_ratio") == 0.75  # last write wins
+
+    def test_histograms_fold_and_mean_is_recomputed(self):
+        fleet, run = MetricsRegistry(), MetricsRegistry()
+        fleet.observe("run_seconds", 1.0)
+        run.observe("run_seconds", 3.0)
+        run.observe("run_seconds", 5.0)
+        fleet.merge(run.to_dict())
+        h = fleet.to_dict()["histograms"]["run_seconds"]
+        assert h["count"] == 3
+        assert (h["min"], h["max"], h["total"]) == (1.0, 5.0, 9.0)
+        assert h["mean"] == pytest.approx(3.0)
+
+    def test_merge_is_associative_with_fresh_series(self):
+        fleet = MetricsRegistry()
+        for value in (2.0, 4.0):
+            run = MetricsRegistry()
+            run.observe("wall", value)
+            run.inc("jobs")
+            fleet.merge(run.to_dict())
+        snap = fleet.to_dict()
+        assert snap["counters"]["jobs"] == 2
+        assert snap["histograms"]["wall"]["count"] == 2
+
+    def test_truncated_snapshot_is_refused(self):
+        fleet = MetricsRegistry()
+        with pytest.raises(ObsError, match="histograms"):
+            fleet.merge({"counters": {}, "gauges": {}})
+
+    def test_gauge_accessor_defaults_to_zero(self):
+        m = MetricsRegistry()
+        assert m.gauge("serve_queue_depth") == 0
+        m.set_gauge("serve_queue_depth", 7)
+        assert m.gauge("serve_queue_depth") == 7

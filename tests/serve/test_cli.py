@@ -1,0 +1,105 @@
+"""CLI exit-code contract for the serve verbs (and ``--version``).
+
+Exit codes under test: 0 success, 1 domain refusal (full queue, a job
+that landed failed/cancelled), 2 usage or connection trouble (no daemon
+at ``--url``, unknown job ID).  The daemon is hosted in-process via
+:class:`ServerThread`; the CLI reaches it through ``REPRO_SERVE_URL`` so
+the commands run exactly as a user would type them.
+"""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+from repro.serve import ServerThread
+
+
+@pytest.fixture()
+def server(tmp_path, monkeypatch):
+    with ServerThread(tmp_path / "serve-data", workers=2,
+                      executor="thread", queue_limit=2) as srv:
+        monkeypatch.setenv("REPRO_SERVE_URL", srv.url)
+        yield srv
+
+
+def test_version_flag(capsys):
+    assert main(["--version"]) == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_submit_jobs_job_happy_path(server, capsys):
+    assert main(["submit", "smoke", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "submitted j000001" in out and "2 shard(s)" in out
+
+    assert main(["job", "j000001", "--follow"]) == 0  # done -> 0
+    out = capsys.readouterr().out
+    assert "done" in out and "records ->" in out
+
+    assert main(["jobs"]) == 0
+    out = capsys.readouterr().out
+    assert "j000001" in out and "done" in out
+
+    assert main(["jobs", "--json"]) == 0
+    listed = json.loads(capsys.readouterr().out)
+    assert listed[0]["id"] == "j000001" and listed[0]["records"] == 8
+
+    assert main(["job", "j000001", "--json"]) == 0
+    view = json.loads(capsys.readouterr().out)
+    assert view["state"] == "done" and view["progress"]["records"] == 8
+
+
+def test_submit_json_emits_the_job_view(server, capsys):
+    assert main(["submit", "smoke", "--json"]) == 0
+    view = json.loads(capsys.readouterr().out)
+    assert view["id"] == "j000001" and view["state"] == "queued"
+
+
+def test_submit_spec_path(server, tmp_path, capsys):
+    spec = {"name": "inline", "scenarios": [{
+        "name": "s", "family": "random_forest", "sizes": [12],
+        "protocol": "forest", "seeds": [0],
+    }]}
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    assert main(["submit", str(path)]) == 0
+    assert "inline" in capsys.readouterr().out
+    # an unreadable spec path is usage, not a wire error
+    bad = tmp_path / "bad.json"
+    bad.write_text("{torn")
+    assert main(["submit", str(bad)]) == 2
+
+
+def test_cancelled_job_exits_one(tmp_path, monkeypatch, capsys):
+    with ServerThread(tmp_path / "bp", workers=0, executor="serial",
+                      queue_limit=1) as srv:
+        monkeypatch.setenv("REPRO_SERVE_URL", srv.url)
+        assert main(["submit", "smoke"]) == 0
+        capsys.readouterr()
+        # a full queue is a retryable domain refusal: exit 1, not 2
+        assert main(["submit", "smoke"]) == 1
+        assert "queue full" in capsys.readouterr().err
+        assert main(["job", "j000001", "--cancel"]) == 1
+        assert main(["job", "j000001"]) == 1  # terminal failure state
+
+
+def test_connection_and_usage_errors(server, capsys):
+    assert main(["job", "nope"]) == 2  # unknown ID, daemon said 404
+    assert "error:" in capsys.readouterr().err
+    assert main(["submit", "smokee"]) == 2  # unknown builtin, with hint
+    assert "smoke" in capsys.readouterr().err
+
+
+def test_no_daemon_listening_exits_two(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SERVE_URL", "http://127.0.0.1:9")
+    for argv in (["submit", "smoke"], ["jobs"], ["job", "j000001"]):
+        assert main(argv) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+def test_serve_usage_errors(capsys):
+    assert main(["serve", "--executor", "gpu"]) == 2  # argparse choice
+    capsys.readouterr()
+    assert main(["submit"]) == 2  # missing campaign argument

@@ -1,0 +1,205 @@
+"""Scheduler-layer unit battery: validation, admission, retry policy.
+
+End-to-end behavior (real sockets, real campaigns) lives in
+``test_service.py``; these tests pin the pieces that do not need a
+server: submission validation, constructor fail-fast, and the
+crash-retry loop driven through a stubbed shard runner.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueueFull, ServeError, WorkerCrash
+from repro.serve.queue import Scheduler, validate_submission
+from repro.serve.store import JobStore
+
+
+# --------------------------------------------------------------------- #
+# validate_submission
+# --------------------------------------------------------------------- #
+
+
+def test_validate_requires_exactly_one_source():
+    with pytest.raises(ServeError, match="exactly one"):
+        validate_submission({})
+    with pytest.raises(ServeError, match="exactly one"):
+        validate_submission({"campaign": "smoke", "spec": {}})
+    with pytest.raises(ServeError, match="JSON object"):
+        validate_submission([1, 2])
+
+
+def test_validate_unknown_builtin_keeps_did_you_mean():
+    with pytest.raises(ServeError, match="smoke"):
+        validate_submission({"campaign": "smokee"})
+
+
+def test_validate_builtin_and_spec_shapes():
+    payload, name = validate_submission({"campaign": "smoke"})
+    assert payload == {"builtin": "smoke"} and name == "smoke"
+    spec = {"name": "inline", "scenarios": [{
+        "name": "s", "family": "random_forest", "sizes": [12],
+        "protocol": "forest", "seeds": [0],
+    }]}
+    payload, name = validate_submission({"spec": spec})
+    assert payload == {"spec": spec} and name == "inline"
+    with pytest.raises(ServeError, match="invalid campaign spec"):
+        validate_submission({"spec": {"name": "empty"}})
+    with pytest.raises(ServeError, match="spec"):
+        validate_submission({"spec": "not-an-object"})
+
+
+# --------------------------------------------------------------------- #
+# constructor + admission
+# --------------------------------------------------------------------- #
+
+
+def test_scheduler_constructor_fails_fast(tmp_path):
+    store = JobStore(tmp_path)
+    with pytest.raises(ServeError, match="workers"):
+        Scheduler(store, workers=-1)
+    with pytest.raises(ServeError, match="queue_limit"):
+        Scheduler(store, queue_limit=0)
+    with pytest.raises(Exception, match="executor"):
+        Scheduler(store, executor="gpu")
+
+
+def _scheduler(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 0)  # no loop needed: admission only
+    kwargs.setdefault("executor", "serial")
+    return Scheduler(JobStore(tmp_path), **kwargs)
+
+
+def test_submit_validates_payload_fields(tmp_path):
+    sched = _scheduler(tmp_path)
+    with pytest.raises(ServeError, match="priority"):
+        sched.submit({"campaign": "smoke", "priority": "urgent"})
+    with pytest.raises(ServeError, match="shards"):
+        sched.submit({"campaign": "smoke", "shards": 0})
+    with pytest.raises(ServeError, match="shards"):
+        sched.submit({"campaign": "smoke", "shards": "2"})
+    with pytest.raises(ServeError, match="jobs"):
+        sched.submit({"campaign": "smoke", "jobs": "four"})
+    with pytest.raises(ServeError, match="executor|unknown"):
+        sched.submit({"campaign": "smoke", "executor": "gpu"})
+
+
+def test_admission_bounds_active_jobs_and_counts_rejects(tmp_path):
+    sched = _scheduler(tmp_path, queue_limit=2)
+    sched.submit({"campaign": "smoke"})
+    sched.submit({"campaign": "smoke", "shards": 3})
+    with pytest.raises(QueueFull) as exc_info:
+        sched.submit({"campaign": "smoke"})
+    assert exc_info.value.retry_after >= 1.0
+    counters = sched.metrics.to_dict()["counters"]
+    assert counters["serve_admission_rejects"] == 1
+    assert counters["serve_jobs_submitted"] == 2
+    # a terminal job frees its slot
+    sched._finish(sched.store.get("j000001"), "cancelled")
+    assert sched.submit({"campaign": "smoke"})["id"] == "j000003"
+
+
+def test_queue_depth_counts_shard_assignments(tmp_path):
+    sched = _scheduler(tmp_path)
+    assert sched.queue_depth() == 0
+    sched.submit({"campaign": "smoke", "shards": 3})
+    sched.submit({"campaign": "smoke"})
+    assert sched.queue_depth() == 4  # 3 + 1 assignments, jobs bound admission
+
+
+def test_cancel_semantics_without_workers(tmp_path):
+    sched = _scheduler(tmp_path)
+    job = sched.submit({"campaign": "smoke"})
+    cancelled = sched.cancel(job["id"])
+    assert cancelled["state"] == "cancelled"
+    with pytest.raises(ServeError, match="already cancelled"):
+        sched.cancel(job["id"])
+    running = sched.submit({"campaign": "smoke"})
+    sched.store.update(running["id"], state="running")
+    flagged = sched.cancel(running["id"])
+    assert flagged["state"] == "running" and flagged["cancel_requested"]
+
+
+# --------------------------------------------------------------------- #
+# the retry loop, driven through a stubbed shard runner
+# --------------------------------------------------------------------- #
+
+
+class _FakeResult:
+    records = ()
+    resumed = 0
+    cache_hits = 0
+    metrics = None
+
+
+def _run_assignment_with(sched, monkeypatch, outcomes):
+    """Drive one assignment; ``outcomes`` yields per-attempt behaviors."""
+    attempts = iter(outcomes)
+
+    def fake_run_shard(job, index):
+        outcome = next(attempts)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    monkeypatch.setattr(sched, "_run_shard", fake_run_shard)
+
+    async def drive():
+        job = sched.submit({"campaign": "smoke"})
+        await sched._run_assignment(job["id"], 0)
+        return sched.store.get(job["id"])
+
+    return asyncio.run(drive())
+
+
+def test_worker_crash_retries_then_succeeds(tmp_path, monkeypatch):
+    sched = _scheduler(tmp_path, retries=2, backoff=0.001)
+    monkeypatch.setattr(
+        "repro.serve.queue.merge_shards",
+        lambda results_dir, name: (results_dir / "x.jsonl", 0),
+    )
+    job = _run_assignment_with(
+        sched, monkeypatch, [WorkerCrash("pool died"), _FakeResult()]
+    )
+    assert job["state"] == "done"
+    assert job["attempts"] == 1
+    assert sched.metrics.to_dict()["counters"]["serve_shard_retries"] == 1
+
+
+def test_worker_crash_exhausts_retries(tmp_path, monkeypatch):
+    sched = _scheduler(tmp_path, retries=1, backoff=0.001)
+    job = _run_assignment_with(
+        sched, monkeypatch, [WorkerCrash("a"), WorkerCrash("b")]
+    )
+    assert job["state"] == "failed"
+    assert "crashed 2 time(s)" in job["error"]
+
+
+def test_plain_exception_fails_without_retry(tmp_path, monkeypatch):
+    sched = _scheduler(tmp_path, retries=5)
+    job = _run_assignment_with(sched, monkeypatch, [ValueError("boom")])
+    assert job["state"] == "failed"
+    assert "ValueError: boom" in job["error"]
+    assert "serve_shard_retries" not in sched.metrics.to_dict()["counters"]
+
+
+def test_timeout_is_a_hard_failure(tmp_path, monkeypatch):
+    # A timed-out thread cannot be killed, so retrying would race two
+    # writers on one shard stream — the policy is fail, never retry.
+    sched = _scheduler(tmp_path, shard_timeout=0.05, retries=5)
+
+    def hang(job, index):
+        import time
+        time.sleep(0.3)
+
+    monkeypatch.setattr(sched, "_run_shard", hang)
+
+    async def drive():
+        job = sched.submit({"campaign": "smoke"})
+        await sched._run_assignment(job["id"], 0)
+        return sched.store.get(job["id"])
+
+    job = asyncio.run(drive())
+    assert job["state"] == "failed"
+    assert "timeout" in job["error"]
+    assert job["attempts"] == 0  # no retry happened
