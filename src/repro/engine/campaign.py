@@ -36,6 +36,7 @@ fixed benchmark load used by ``benchmarks/bench_engine.py``.
 from __future__ import annotations
 
 import concurrent.futures
+import functools
 import json
 import pathlib
 from collections.abc import Iterable, Mapping
@@ -54,6 +55,7 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.faults import FaultSpec
 from repro.engine.scenario import RunRecord, RunSpec, Scenario, execute_run
+from repro.sketching import kernels as kernel_backends
 from repro.engine.shard import (
     JsonlStreamWriter,
     ShardManifest,
@@ -306,6 +308,7 @@ class Campaign:
         tracer: "Tracer | NullTracer" = NULL_TRACER,
         metrics: MetricsRegistry | None = None,
         shard_index: int | None = None,
+        kernels: str | None = None,
     ) -> tuple[list[RunRecord], int, int, int]:
         """Execute ``specs`` in order, making each record durable as it lands.
 
@@ -360,7 +363,11 @@ class Campaign:
         pending = [s for s, h in zip(specs, order) if h not in durable]
         slots: list[RunRecord | None] = [self._cache_load(s) for s in pending]
         misses = [s for s, r in zip(pending, slots) if r is None]
-        miss_iter = executor.imap_observed(execute_run, misses)
+        run_fn = (
+            execute_run if kernels is None
+            else functools.partial(execute_run, kernels=kernels)
+        )
+        miss_iter = executor.imap_observed(run_fn, misses)
 
         writer = None
         if stream_path is not None:
@@ -431,6 +438,7 @@ class Campaign:
         resume: bool = False,
         trace: bool = False,
         progress: "bool | ProgressReporter | None" = None,
+        kernels: str | None = None,
     ) -> CampaignResult:
         """Execute the grid (or one shard of it) and persist JSONL records.
 
@@ -468,6 +476,14 @@ class Campaign:
             :class:`~repro.obs.progress.ProgressReporter`, or an instance
             for custom streams.  Runs off the same event bus as tracing
             but needs no ``results_dir`` (events stay in-process).
+        kernels:
+            Kernel backend for the sketch hot paths (``"pure"`` or
+            ``"numpy"``, see :mod:`repro.sketching.kernels`).  ``None``
+            keeps the ambient backend.  Guaranteed digest-neutral (the
+            parity gate pins it), so it is an execution-level choice like
+            the executor kind and never enters spec content hashes or the
+            cache key.  Validated up front: requesting ``"numpy"`` without
+            numpy installed raises :class:`~repro.errors.KernelError`.
 
         Every persisted run (sharded or not) writes
         ``<results_dir>/<name>.manifest.json`` atomically (with a final
@@ -477,6 +493,8 @@ class Campaign:
         """
         t0 = monotonic_clock()
         executor = executor or SerialExecutor()
+        if kernels is not None:
+            kernels = kernel_backends.resolve_kernels(kernels)
         if shards is None and shard_index is not None:
             raise ShardError("shard_index requires shards")
         if shards is not None:
@@ -555,7 +573,7 @@ class Campaign:
                                 runs=len(specs), shards=None, resume=resume)
                     records, hits, misses, resumed = self._run_stream(
                         specs, executor, stream, resume=resume,
-                        tracer=tracer, metrics=metrics,
+                        tracer=tracer, metrics=metrics, kernels=kernels,
                     )
                     jsonl_path = stream
                 else:
@@ -587,6 +605,7 @@ class Campaign:
                             recs, h, m, r = self._run_stream(
                                 per_shard[i], executor, stream, resume=resume,
                                 tracer=tracer, metrics=metrics, shard_index=i,
+                                kernels=kernels,
                             )
                         write_done_marker(
                             self.results_dir, self.name, i, shards,
@@ -610,6 +629,14 @@ class Campaign:
                         jsonl_path = stream
                 tracer.mark("campaign-end", campaign=self.name)
 
+            # The pinned definition of cache_hit_ratio (see
+            # tests/engine/test_cache_hit_ratio.py): hits over *landed*
+            # runs only — resumed replays are excluded from both sides,
+            # exactly as the progress reporter excludes cached+resumed
+            # from its rate.  Equivalently it is always derivable from the
+            # additive counters as runs_cached / (runs_cached +
+            # runs_started), which is how the serve scheduler recomputes
+            # the fleet-level gauge after merging shard registries.
             landed = hits + misses
             metrics.set_gauge(
                 "cache_hit_ratio", (hits / landed) if landed else 0.0

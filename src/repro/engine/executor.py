@@ -34,6 +34,7 @@ import os
 import threading
 import time
 from abc import ABC, abstractmethod
+from array import array
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from functools import partial
 from typing import Any, TypeVar
@@ -43,12 +44,18 @@ from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import OneRoundProtocol
 
+try:  # stdlib, but absent on exotic platforms — fall back to pickling
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
 __all__ = [
     "Executor",
     "ObservedResult",
     "SerialExecutor",
     "ThreadPoolExecutor",
     "ProcessPoolExecutor",
+    "SharedGraphRef",
     "default_jobs",
     "make_executor",
     "EXECUTOR_KINDS",
@@ -115,11 +122,118 @@ class ObservedResult:
         return f"ObservedResult(worker={self.worker!r}, seconds={self.seconds:.6f})"
 
 
+class SharedGraphRef:
+    """A pickle-free handle to a graph published in shared memory.
+
+    The process executor's :meth:`Executor.map_local` used to pickle the
+    whole :class:`LabeledGraph` into every batch — ``jobs × batches`` round
+    trips through ``pickle`` for the same adjacency.  Instead the parent
+    serializes the adjacency once into a ``multiprocessing.shared_memory``
+    block (a flat int64 degree table followed by the concatenated,
+    sorted neighbor lists — stdlib ``array``, no numpy), and batches carry
+    only this tiny named handle.  Each worker attaches, rebuilds the graph
+    once, and caches it by block name, so n batches cost one rebuild.
+
+    The parent owns the block's lifetime: it unlinks after the map
+    completes.  Workers copy out of the buffer before closing, so the
+    cached graph never dangles into unmapped memory.
+    """
+
+    __slots__ = ("name", "n", "m", "n_neighbors")
+
+    #: Per-worker cache of rebuilt graphs, keyed by shared-memory block
+    #: name (unique per publish).  Bounded: referee rounds reuse one graph,
+    #: so a worker only ever needs the most recent few.
+    _CACHE: dict[str, LabeledGraph] = {}
+    _CACHE_MAX = 4
+
+    def __init__(self, name: str, n: int, m: int, n_neighbors: int) -> None:
+        self.name = name
+        self.n = n
+        self.m = m
+        self.n_neighbors = n_neighbors
+
+    def __getstate__(self) -> tuple[str, int, int, int]:
+        return (self.name, self.n, self.m, self.n_neighbors)
+
+    def __setstate__(self, state: tuple[str, int, int, int]) -> None:
+        self.name, self.n, self.m, self.n_neighbors = state
+
+    @classmethod
+    def publish(cls, g: LabeledGraph) -> "tuple[SharedGraphRef, Any]":
+        """Serialize ``g`` into a fresh shared-memory block.
+
+        Returns ``(ref, shm)``; the caller must ``shm.close()`` and
+        ``shm.unlink()`` once every consumer is done.
+        """
+        degrees = array("q")
+        neighbors = array("q")
+        for v in g.vertices():
+            ns = sorted(g.neighbors(v))
+            degrees.append(len(ns))
+            neighbors.extend(ns)
+        deg_bytes = degrees.tobytes()
+        nb_bytes = neighbors.tobytes()
+        shm = _shared_memory.SharedMemory(
+            create=True, size=max(1, len(deg_bytes) + len(nb_bytes))
+        )
+        shm.buf[: len(deg_bytes)] = deg_bytes
+        shm.buf[len(deg_bytes): len(deg_bytes) + len(nb_bytes)] = nb_bytes
+        return cls(shm.name, g.n, g.m, len(neighbors)), shm
+
+    def materialize(self) -> LabeledGraph:
+        """Attach, rebuild the :class:`LabeledGraph`, and cache it."""
+        cached = self._CACHE.get(self.name)
+        if cached is not None:
+            return cached
+        shm = _shared_memory.SharedMemory(name=self.name)
+        try:
+            # With a spawn start method each worker has its own resource
+            # tracker, and on 3.11 an *attach* registers with it — the
+            # worker's tracker would then unlink the parent-owned block at
+            # worker exit, so untrack our attachment there.  Under fork
+            # (and in the publishing process itself) the tracker cache is
+            # shared with the creator, where unregistering here would
+            # erase the creator's own registration — leave it alone.
+            try:
+                import multiprocessing
+
+                if multiprocessing.get_start_method(allow_none=True) == "spawn":
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+            degrees = array("q")
+            degrees.frombytes(bytes(shm.buf[: self.n * 8]))
+            neighbors = array("q")
+            neighbors.frombytes(
+                bytes(shm.buf[self.n * 8: (self.n + self.n_neighbors) * 8])
+            )
+        finally:
+            shm.close()
+        adj: list[set[int]] = [set()]
+        pos = 0
+        for d in degrees:
+            adj.append(set(neighbors[pos: pos + d]))
+            pos += d
+        g = LabeledGraph.__new__(LabeledGraph)
+        g._n = self.n
+        g._adj = adj
+        g._m = self.m
+        while len(self._CACHE) >= self._CACHE_MAX:
+            self._CACHE.pop(next(iter(self._CACHE)))
+        self._CACHE[self.name] = g
+        return g
+
+
 def _local_batch(
-    args: tuple[OneRoundProtocol, LabeledGraph, list[int]]
+    args: "tuple[OneRoundProtocol, LabeledGraph | SharedGraphRef, list[int]]"
 ) -> list[tuple[int, Message]]:
     """Evaluate one batch of local calls (module-level: picklable)."""
     protocol, g, ids = args
+    if isinstance(g, SharedGraphRef):
+        g = g.materialize()
     return [(i, protocol.local(g.n, i, g.neighbors(i))) for i in ids]
 
 
@@ -283,6 +397,40 @@ class ProcessPoolExecutor(_PooledExecutor):
 
     kind = "process"
     _pool_factory = concurrent.futures.ProcessPoolExecutor
+
+    def map_local(
+        self, protocol: OneRoundProtocol, g: LabeledGraph, *, batches_per_job: int = 4
+    ) -> list[tuple[int, Message]]:
+        """Local phase with pickle-free graph handoff.
+
+        The graph is published once to shared memory and every batch
+        carries a :class:`SharedGraphRef` instead of the graph itself —
+        results are the exact list the base implementation produces (same
+        batching, same order).  Falls back to the pickling path when
+        shared memory is unavailable or publishing fails (e.g. ``/dev/shm``
+        exhausted).
+        """
+        if _shared_memory is None:
+            return super().map_local(protocol, g, batches_per_job=batches_per_job)
+        ids = list(g.vertices())
+        if not ids:
+            return []
+        try:
+            ref, shm = SharedGraphRef.publish(g)
+        except OSError:  # pragma: no cover - shm exhaustion
+            return super().map_local(protocol, g, batches_per_job=batches_per_job)
+        try:
+            chunks = _chunk_ids(ids, self.jobs * batches_per_job)
+            results = self.map(
+                _local_batch, [(protocol, ref, chunk) for chunk in chunks]
+            )
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        return [pair for batch in results for pair in batch]
 
 
 #: CLI-selectable backends by name.

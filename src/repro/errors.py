@@ -27,6 +27,7 @@ __all__ = [
     "SchemaError",
     "BaselineError",
     "BenchError",
+    "KernelError",
     "ShardError",
     "ShardIncomplete",
     "ObsError",
@@ -153,6 +154,11 @@ class BaselineError(ResultsError):
 class BenchError(ReproError):
     """Raised by the benchmark harness (:mod:`repro.bench`) on bad suite
     arguments or a missing/malformed bench baseline."""
+
+
+class KernelError(ReproError):
+    """Raised on an unknown kernel backend, or one whose optional
+    dependency (numpy) is not installed in this interpreter."""
 
 
 class ShardError(ProtocolError):

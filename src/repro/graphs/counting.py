@@ -18,7 +18,10 @@ from collections.abc import Callable, Iterator
 from functools import lru_cache
 from itertools import combinations
 
-import numpy as np
+try:  # numpy vectorizes the exhaustive counts; the big-int path is the fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro.errors import GraphError
 from repro.graphs.labeled import LabeledGraph
@@ -153,16 +156,60 @@ def _pair_bit_arrays(n: int) -> tuple[list[tuple[int, int]], np.ndarray]:
     return pairs, bits
 
 
+def _pair_bit_columns(n: int) -> tuple[list[tuple[int, int]], list[int], int]:
+    """The pure twin of :func:`_pair_bit_arrays`: edge columns as big ints.
+
+    ``cols[e]`` has bit ``g`` set iff graph ``g`` contains edge
+    ``pairs[e]`` — i.e. the ``2^C(n,2)``-bit integer whose bits are the
+    ``e``-th column of the numpy matrix.  Bitwise ops on these integers
+    act on all graphs at once, so the fallback stays exhaustive *and*
+    vectorized (in C, via CPython's big-int arithmetic) without numpy.
+    """
+    pairs = list(combinations(range(1, n + 1), 2))
+    ne = len(pairs)
+    total = 1 << ne
+    full = (1 << total) - 1
+    cols = []
+    for e in range(ne):
+        # Column e is periodic with period 2^(e+1) graphs: the upper half
+        # of each period has the edge.  One period, replicated.
+        half = 1 << e
+        unit = ((1 << half) - 1) << half
+        rep = full // ((1 << (half * 2)) - 1)  # 1 every 2^(e+1) bits
+        cols.append(unit * rep)
+    return pairs, cols, total
+
+
 def count_square_free(n: int) -> int:
     """Exact number of labelled C4-free graphs on ``n <= MAX_ENUM_N`` vertices.
 
     Vectorized: a C4 exists iff some vertex pair has >= 2 common neighbours;
     for every pair (u, v) we sum, over w, the AND of edge bits (u,w), (v,w).
+    Uses numpy when available; otherwise the big-int columns with a
+    two-bit bitsliced saturating counter (value-identical, pinned by
+    ``tests/graphs/test_counting.py``).
     """
     if n > MAX_ENUM_N:
         raise GraphError(f"exact square-free count limited to n <= {MAX_ENUM_N}")
     if n < 4:
         return labeled_graph_count(n)
+    if np is None:
+        pairs, cols, total = _pair_bit_columns(n)
+        eidx = {p: i for i, p in enumerate(pairs)}
+
+        def col(u: int, v: int) -> int:
+            return cols[eidx[(u, v) if u < v else (v, u)]]
+
+        has_square = 0
+        for u, v in pairs:
+            ones = twos = 0  # per-graph common-neighbour count, saturating at 2
+            for w in range(1, n + 1):
+                if w != u and w != v:
+                    x = col(u, w) & col(v, w)
+                    twos |= ones & x
+                    ones ^= x
+            has_square |= twos
+        return total - has_square.bit_count()
     pairs, bits = _pair_bit_arrays(n)
     eidx = {p: i for i, p in enumerate(pairs)}
 
@@ -185,6 +232,15 @@ def count_triangle_free(n: int) -> int:
         raise GraphError(f"exact triangle-free count limited to n <= {MAX_ENUM_N}")
     if n < 3:
         return labeled_graph_count(n)
+    if np is None:
+        pairs, cols, total = _pair_bit_columns(n)
+        eidx = {p: i for i, p in enumerate(pairs)}
+        has_triangle = 0
+        for a, b, c in combinations(range(1, n + 1), 3):
+            has_triangle |= (
+                cols[eidx[(a, b)]] & cols[eidx[(b, c)]] & cols[eidx[(a, c)]]
+            )
+        return total - has_triangle.bit_count()
     pairs, bits = _pair_bit_arrays(n)
     eidx = {p: i for i, p in enumerate(pairs)}
     has_triangle = np.zeros(bits.shape[0], dtype=bool)

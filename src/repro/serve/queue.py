@@ -390,7 +390,12 @@ class Scheduler:
         started = job.get("_started_clock")
         wall = (time.monotonic() - started) if started else 0.0
         self.metrics.inc("serve_jobs_finished", state=state)
-        self.metrics.observe("serve_job_wall_seconds", round(wall, 6))
+        if started is not None:
+            # Jobs that never started (cancelled while queued, dropped at
+            # admission replay) have no wall time; observing their 0.0
+            # would drag the serve_job_wall_seconds mean — and with it the
+            # Retry-After hint — toward zero.
+            self.metrics.observe("serve_job_wall_seconds", round(wall, 6))
         return self.store.update(
             job["id"], state=state, finished_at=time.time(),
             wall_seconds=round(wall, 3), _started_clock=None, **fields,
@@ -406,4 +411,13 @@ class Scheduler:
             self.metrics.set_gauge("serve_jobs", count, state=state)
         self.metrics.set_gauge("serve_queue_depth", self.queue_depth())
         self.metrics.set_gauge("serve_workers", self.workers)
+        # Gauge merges are last-write-wins, so after folding shard
+        # registries the cache_hit_ratio gauge would be whichever shard
+        # landed last — not the fleet ratio.  Recompute it from the
+        # additive counters; this is the same pinned definition the
+        # campaign layer publishes (see tests/engine/test_cache_hit_ratio.py):
+        # runs_cached / (runs_cached + runs_started).
+        hits = self.metrics.counter("runs_cached")
+        landed = hits + self.metrics.counter("runs_started")
+        self.metrics.set_gauge("cache_hit_ratio", (hits / landed) if landed else 0.0)
         return self.metrics.to_dict()

@@ -33,7 +33,15 @@ from repro.bits.writer import BitWriter
 from repro.errors import DecodeError, SketchFailure
 from repro.model.message import Message
 from repro.model.protocol import DecisionProtocol
-from repro.sketching.connectivity import _UnionFind, _unzigzag, _zigzag, edge_index, edge_pair
+from repro.sketching import kernels
+from repro.sketching.connectivity import (
+    _UnionFind,
+    _unzigzag,
+    _zigzag,
+    edge_index,
+    edge_pair,
+    incidence_updates,
+)
 from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
 from repro.registry import register
 
@@ -100,15 +108,13 @@ class SketchBipartitenessProtocol(DecisionProtocol):
             return Message.empty()
         rounds = self.rounds_for(n)
         fields: list[tuple[int, int]] = []
-        # bank 1: plain incidence sketches of i in G
+        # bank 1: plain incidence sketches of i in G.  The update stream is
+        # round-independent: build it once, batch it into every sampler.
         wg0, wg1 = self._widths(n, "g")
+        g_updates = incidence_updates(n, i, neighborhood)
         for r in range(rounds):
             sampler = L0Sampler(self._params(n, "g", r))
-            for w in neighborhood:
-                if i < w:
-                    sampler.update(edge_index(n, i, w), +1)
-                else:
-                    sampler.update(edge_index(n, w, i), -1)
+            sampler.update_many(g_updates)
             for c0, c1, c2 in sampler.counters():
                 fields.append((_zigzag(c0), wg0))
                 fields.append((_zigzag(c1), wg1))
@@ -117,20 +123,22 @@ class SketchBipartitenessProtocol(DecisionProtocol):
         wd0, wd1 = self._widths(n, "dc")
         for primed in (False, True):
             me = _dc_vertex(i, primed, n)
+            dc_updates = []
+            for w in neighborhood:
+                other = _dc_vertex(w, not primed, n)  # edges cross the lift
+                if me < other:
+                    dc_updates.append((edge_index(2 * n, me, other), +1))
+                else:
+                    dc_updates.append((edge_index(2 * n, other, me), -1))
             for r in range(rounds):
                 sampler = L0Sampler(self._params(n, "dc", r))
-                for w in neighborhood:
-                    other = _dc_vertex(w, not primed, n)  # edges cross the lift
-                    if me < other:
-                        sampler.update(edge_index(2 * n, me, other), +1)
-                    else:
-                        sampler.update(edge_index(2 * n, other, me), -1)
+                sampler.update_many(dc_updates)
                 for c0, c1, c2 in sampler.counters():
                     fields.append((_zigzag(c0), wd0))
                     fields.append((_zigzag(c1), wd1))
                     fields.append((c2, 61))
         writer = BitWriter()
-        writer.write_many(fields)
+        kernels.write_fields(writer, fields)
         return Message.from_writer(writer)
 
     # ------------------------------------------------------------------ #

@@ -35,10 +35,18 @@ from repro.errors import DecodeError, SketchFailure
 from repro.graphs.labeled import LabeledGraph
 from repro.model.message import Message
 from repro.model.protocol import DecisionProtocol
+from repro.sketching import kernels
 from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
 from repro.registry import register
 
-__all__ = ["AGMConnectivityProtocol", "SketchReport", "sketch_spanning_forest", "edge_index", "edge_pair"]
+__all__ = [
+    "AGMConnectivityProtocol",
+    "SketchReport",
+    "sketch_spanning_forest",
+    "edge_index",
+    "edge_pair",
+    "incidence_updates",
+]
 
 
 def edge_index(n: int, u: int, v: int) -> int:
@@ -47,6 +55,16 @@ def edge_index(n: int, u: int, v: int) -> int:
         raise ValueError(f"need 1 <= u < v <= n, got ({u}, {v})")
     # edges (1,2)..(1,n), (2,3)..(2,n), ...: (u-1)n - u(u-1)/2 edges precede row u
     return (u - 1) * n - u * (u - 1) // 2 + v - u - 1
+
+
+def incidence_updates(
+    n: int, i: int, neighborhood: frozenset[int]
+) -> list[tuple[int, int]]:
+    """Node ``i``'s signed edge-incidence stream: ``(edge_index, ±1)`` pairs."""
+    return [
+        (edge_index(n, i, w), +1) if i < w else (edge_index(n, w, i), -1)
+        for w in neighborhood
+    ]
 
 
 def edge_pair(n: int, index: int) -> tuple[int, int]:
@@ -133,14 +151,14 @@ class AGMConnectivityProtocol(DecisionProtocol):
     # ------------------------------------------------------------------ #
 
     def _node_samplers(self, n: int, i: int, neighborhood: frozenset[int]) -> list[L0Sampler]:
+        # The incidence updates are identical for every round's sampler, so
+        # build the (index, delta) stream once and feed each round through
+        # update_many — the batched path the kernel backends vectorize.
+        updates = incidence_updates(n, i, neighborhood)
         samplers = []
         for r in range(self.rounds_for(n)):
             sampler = L0Sampler(self.params_for(n, r))
-            for w in neighborhood:
-                if i < w:
-                    sampler.update(edge_index(n, i, w), +1)
-                else:
-                    sampler.update(edge_index(n, w, i), -1)
+            sampler.update_many(updates)
             samplers.append(sampler)
         return samplers
 
@@ -149,7 +167,7 @@ class AGMConnectivityProtocol(DecisionProtocol):
             return Message.empty()
         w0, w1 = self._widths(n)
         # Collect every fixed-width field, then pack the whole message in
-        # one BitWriter.write_many pass (bit-identical to per-field writes).
+        # one pass (bit-identical to per-field writes on every backend).
         fields: list[tuple[int, int]] = []
         for sampler in self._node_samplers(n, i, neighborhood):
             for c0, c1, c2 in sampler.counters():
@@ -157,7 +175,7 @@ class AGMConnectivityProtocol(DecisionProtocol):
                 fields.append((_zigzag(c1), w1))
                 fields.append((c2, 61))
         writer = BitWriter()
-        writer.write_many(fields)
+        kernels.write_fields(writer, fields)
         return Message.from_writer(writer)
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,471 @@
+"""Array-backed execution kernels for the sketch hot paths.
+
+The pure-Python paths in :mod:`repro.sketching.field`,
+:class:`~repro.sketching.l0sampler.L0Sampler` and
+:class:`~repro.bits.writer.BitWriter` are the *reference semantics* — every
+digest pinned by the bench suite and the regression baselines was produced
+by them.  This module adds an optional numpy backend that computes the same
+values in int64/uint64 lanes:
+
+* :func:`mulmod61` / :func:`powmod61` — Mersenne-61 field arithmetic via
+  31-bit limb splitting, entirely in uint64 (no Python-int round trips);
+* :func:`splitmix64_np` / :func:`derive_params_block_batch` — the seeded
+  parameter derivation chains, batched across many instances;
+* :func:`l0_update_many` — one vectorized pass fanning a whole update
+  stream across all subsampling levels of an
+  :class:`~repro.sketching.l0sampler.L0Sampler`;
+* :func:`pack_fields` / :func:`write_fields` — whole-stream bit packing
+  feeding :meth:`BitWriter.write_packed`.
+
+Contract: **bit-for-bit parity**.  Every kernel either produces exactly the
+bytes/counters the pure twin produces, or falls back to the pure twin (for
+shapes outside its safe envelope — e.g. values beyond 64 bits, or batch
+aggregates that could overflow an int64 lane).  The parity fuzz suite and
+the pinned bench digests enforce this, so backend selection can never leak
+into results — it is an execution-level axis like the executor kind, and is
+deliberately *excluded* from :meth:`RunSpec.content_hash`.
+
+Selection: numpy is strictly optional.  ``"pure"`` is the default backend;
+``"numpy"`` is chosen per-scope with :func:`use_kernels` (what
+``Session.kernels("numpy")`` and ``repro campaign --kernels numpy`` thread
+through the engine).  The active backend is a :class:`contextvars.ContextVar`
+so concurrent runs on the thread executor cannot observe each other's
+choice.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from collections.abc import Iterable, Iterator
+
+from repro.errors import CodecError, KernelError
+from repro.sketching.field import MERSENNE61, splitmix64
+
+try:  # numpy is strictly optional — every caller guards on numpy_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "DEFAULT_KERNELS",
+    "numpy_available",
+    "available_kernels",
+    "resolve_kernels",
+    "active_kernels",
+    "use_kernels",
+    "splitmix64_np",
+    "derive_params_block_batch",
+    "mulmod61",
+    "powmod61",
+    "l0_update_many",
+    "pack_fields",
+    "pack_arrays",
+    "write_fields",
+]
+
+KERNEL_BACKENDS = ("pure", "numpy")
+DEFAULT_KERNELS = "pure"
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_active: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_kernels", default=DEFAULT_KERNELS
+)
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy dependency imported successfully."""
+    return _np is not None
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Backends usable in this interpreter (``"pure"`` is always first)."""
+    return KERNEL_BACKENDS if _np is not None else ("pure",)
+
+
+def resolve_kernels(name: str | None) -> str:
+    """Validate a backend name; ``None`` means the currently active one."""
+    if name is None:
+        return _active.get()
+    if name not in KERNEL_BACKENDS:
+        raise KernelError(
+            f"unknown kernel backend {name!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    if name == "numpy" and _np is None:
+        raise KernelError(
+            "kernel backend 'numpy' requested but numpy is not installed; "
+            "install numpy or use --kernels pure"
+        )
+    return name
+
+
+def active_kernels() -> str:
+    """The backend hot paths dispatch on right now (default ``"pure"``)."""
+    return _active.get()
+
+
+@contextlib.contextmanager
+def use_kernels(name: str | None) -> Iterator[str]:
+    """Scope the active kernel backend (``None`` leaves it unchanged)."""
+    resolved = resolve_kernels(name)
+    token = _active.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _active.reset(token)
+
+
+# --------------------------------------------------------------------------
+# Field arithmetic: Mersenne-61 in uint64 lanes
+# --------------------------------------------------------------------------
+
+def mulmod61(a, b):
+    """``(a * b) mod (2^61 - 1)`` elementwise for uint64 arrays ``< 2^61``.
+
+    31-bit limb split keeps every intermediate inside uint64: with
+    ``a = a1·2^31 + a0`` and ``b = b1·2^31 + b0`` the cross term is folded
+    through ``2^61 ≡ 1 (mod p)`` before it can overflow.
+    """
+    np = _np
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    m31 = np.uint64((1 << 31) - 1)
+    m30 = np.uint64((1 << 30) - 1)
+    a0 = a & m31
+    a1 = a >> np.uint64(31)          # < 2^30
+    b0 = b & m31
+    b1 = b >> np.uint64(31)
+    hi = a1 * b1                     # < 2^60; contributes hi·2^62 ≡ 2·hi
+    mid = a1 * b0 + a0 * b1          # < 2^62; contributes mid·2^31
+    lo = a0 * b0                     # < 2^62
+    mid_hi = mid >> np.uint64(30)    # mid·2^31 = mid_hi·2^61 + mid_lo·2^31
+    mid_lo = mid & m30
+    t = (hi << np.uint64(1)) + mid_hi + (mid_lo << np.uint64(31)) + lo
+    p = np.uint64(MERSENNE61)
+    t = (t >> np.uint64(61)) + (t & p)
+    t = (t >> np.uint64(61)) + (t & p)
+    # Subtract p only where t >= p; the where-on-the-subtrahend form never
+    # underflows, so scalar (0-d) inputs don't trip overflow warnings.
+    return t - np.where(t >= p, p, np.uint64(0))
+
+
+def powmod61(base, exp):
+    """``pow(base, exp, 2^61 - 1)`` elementwise (square-and-multiply).
+
+    Iteration count is the bit length of the *largest* exponent in the
+    batch — ~13 vector multiplies for L0 fingerprint exponents — not 61.
+    """
+    np = _np
+    base = np.asarray(base, dtype=np.uint64)
+    exp = np.asarray(exp, dtype=np.uint64)
+    base, exp = np.broadcast_arrays(base, exp)
+    result = np.ones(base.shape, dtype=np.uint64)
+    if exp.size == 0:
+        return result
+    sq = base.copy()
+    for bit in range(int(exp.max()).bit_length()):
+        odd = ((exp >> np.uint64(bit)) & np.uint64(1)).astype(bool)
+        result = np.where(odd, mulmod61(result, sq), result)
+        sq = mulmod61(sq, sq)
+    return result
+
+
+def _pow_table(base: int, size: int):
+    """``[base^0, base^1, ..., base^(size-1)] mod p`` by doubling.
+
+    ``base^(k+len) = base^k · base^len`` lets each round double the table
+    with one vector multiply, so a size-``s`` table costs ``O(log s)``
+    vector ops rather than ``s`` scalar pows.
+    """
+    np = _np
+    b = np.uint64(base % MERSENNE61)
+    t = np.array([1, base % MERSENNE61], dtype=np.uint64)[: max(size, 1)]
+    while len(t) < size:
+        t = np.concatenate([t, mulmod61(t, mulmod61(t[-1], b))])
+    return t[:size]
+
+
+def _powmod61_dense(base: int, exp):
+    """``base^exp mod p`` for a batch of *small* exponents via two tables.
+
+    Baby-step/giant-step: with ``B = 2^b ≈ sqrt(max_exp)``, ``base^e =
+    T1[e mod B] · T2[e div B]`` — two gathers and one vector multiply
+    instead of ``bit_length(max_exp)`` square-and-multiply rounds.  Falls
+    back to :func:`powmod61` when the exponents are too large for the
+    tables to stay small.
+    """
+    np = _np
+    max_exp = int(exp.max()) if exp.size else 0
+    if max_exp.bit_length() > 26:  # tables would exceed ~2^13 entries each
+        return powmod61(np.uint64(base), exp)
+    b = (max_exp.bit_length() + 1) // 2
+    baby = _pow_table(base, 1 << b)
+    giant = _pow_table(pow(base, 1 << b, MERSENNE61), (max_exp >> b) + 1)
+    return mulmod61(baby[exp & np.uint64((1 << b) - 1)], giant[exp >> np.uint64(b)])
+
+
+def splitmix64_np(x):
+    """Vector :func:`repro.sketching.field.splitmix64` (uint64 wraparound)."""
+    np = _np
+    x = np.asarray(x, dtype=np.uint64)
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def derive_params_block_batch(seed: int, count: int, tags_rows) -> list[tuple[int, ...]]:
+    """Batched :func:`~repro.sketching.field.derive_params_block`.
+
+    ``tags_rows`` is a sequence of equal-length tag tuples; the result is
+    value-for-value ``[derive_params_block(seed, count, *row) for row in
+    tags_rows]``, with the per-``which`` splitmix chains run across all rows
+    at once.  Requires numpy.
+    """
+    np = _np
+    if np is None:
+        raise KernelError("derive_params_block_batch requires numpy")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rows = [tuple(t & _MASK64 for t in row) for row in tags_rows]
+    if not rows:
+        return []
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ValueError("tags_rows must all have the same length")
+    x0 = splitmix64(seed & _MASK64)
+    tag_cols = [
+        np.array([row[j] for row in rows], dtype=np.uint64) for j in range(width)
+    ]
+    outs = []
+    for which in range(1, count + 1):
+        x = np.full(len(rows), splitmix64(x0 ^ which), dtype=np.uint64)
+        for col in tag_cols:
+            x = splitmix64_np(x ^ col)
+        outs.append(x)
+    stacked = np.stack(outs, axis=1) if outs else np.empty((len(rows), 0), np.uint64)
+    return [tuple(row) for row in stacked.tolist()]
+
+
+# --------------------------------------------------------------------------
+# L0 sampler: batched update stream
+# --------------------------------------------------------------------------
+
+def l0_update_many(sampler, updates: Iterable[tuple[int, int]]) -> None:
+    """Apply ``(index, delta)`` pairs to ``sampler`` in one vectorized pass.
+
+    Counter-identical to the pure per-element loop.  Falls back to it for
+    anything outside the int64-safe envelope (indices/deltas beyond int64,
+    out-of-range indices — preserving the pure path's apply-prefix-then-
+    raise semantics — or batch aggregates that could overflow a lane).
+    """
+    batch = updates if isinstance(updates, list) else list(updates)
+    if _np is not None and _l0_update_many_numpy(sampler, batch):
+        return
+    for index, delta in batch:
+        sampler.update(index, delta)
+
+
+def _l0_update_many_numpy(sampler, batch: list) -> bool:
+    """The numpy fast path; returns False when the pure loop must run."""
+    np = _np
+    if not batch:
+        return True
+    params = sampler.params
+    m, levels = params.m, params.levels
+    if m > MERSENNE61:
+        return False
+    try:
+        arr = np.array(batch, dtype=np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return False
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        return False
+    idx, dlt = arr[:, 0], arr[:, 1]
+    if int(idx.min()) < 0 or int(idx.max()) >= m:
+        return False  # pure loop applies the valid prefix, then raises
+    k = len(batch)
+    max_abs_delta = max(abs(int(dlt.min())), abs(int(dlt.max())))
+    # int64 lane-overflow guards for the per-level sums (c0, c1, c2 halves).
+    if max_abs_delta * k >= 1 << 62 or max_abs_delta * max(m, 1) * k >= 1 << 62:
+        return False
+
+    au = idx.astype(np.uint64)
+    p = np.uint64(MERSENNE61)
+    h = mulmod61(np.uint64(params.alpha), au) + np.uint64(params.beta)
+    h = (h >> np.uint64(61)) + (h & p)
+    h = np.where(h >= p, h - p, h)
+    zero = h == 0
+    lowbit = h & (~h + np.uint64(1))
+    # lowbit is a power of two < 2^61 — exact in float64, so log2 is exact.
+    safe = np.where(zero, np.uint64(1), lowbit)
+    tz = np.log2(safe.astype(np.float64)).astype(np.int64)
+    deepest = np.where(zero, levels - 1, np.minimum(tz, levels - 1))
+
+    zpow = _powmod61_dense(params.z, au + np.uint64(1))
+    term = mulmod61((dlt % np.int64(MERSENNE61)).astype(np.uint64), zpow)
+    # Per-level c2 sums would overflow uint64 — accumulate 31-bit halves.
+    term_hi = (term >> np.uint64(31)).astype(np.int64)
+    term_lo = (term & np.uint64((1 << 31) - 1)).astype(np.int64)
+    idelta = idx * dlt
+
+    # Level lvl sums every update with deepest >= lvl (the levels are
+    # nested).  One sort by depth turns each of those into a suffix sum:
+    # cumsum once, then the per-level tail is total - prefix[boundary].
+    order = np.argsort(deepest, kind="stable")
+    depth_sorted = deepest[order]
+    zero64 = np.zeros(1, dtype=np.int64)
+    cs = [
+        np.concatenate([zero64, np.cumsum(q[order])])
+        for q in (dlt, idelta, term_hi, term_lo)
+    ]
+    top = min(levels - 1, int(depth_sorted[-1]))
+    bounds = np.searchsorted(depth_sorted, np.arange(top + 1)).tolist()
+    totals = [int(c[-1]) for c in cs]
+    sketches = sampler.sketches
+    for lvl in range(top + 1):
+        b = bounds[lvl]
+        sketch = sketches[lvl]
+        sketch.c0 += totals[0] - int(cs[0][b])
+        sketch.c1 += totals[1] - int(cs[1][b])
+        c2_add = ((totals[2] - int(cs[2][b])) << 31) + (totals[3] - int(cs[3][b]))
+        sketch.c2 = (sketch.c2 + c2_add) % MERSENNE61
+    return True
+
+
+# --------------------------------------------------------------------------
+# Bit packing: whole-stream (value, width) fields -> packed bytes
+# --------------------------------------------------------------------------
+
+def pack_fields(fields) -> tuple[bytes, int] | None:
+    """Pack ``(value, width)`` pairs into ``(data, nbits)``, MSB first.
+
+    Validation is identical to :meth:`BitWriter.write_many` and raises
+    :class:`CodecError` before anything is produced (on the fast path it
+    runs vectorized; a failing batch re-runs the scalar checks so the
+    exception names the *first* offending field, exactly like the pure
+    writer).  Returns ``None`` when the batch falls outside the uint64
+    lane envelope (values beyond int64, widths over 63 bits) so the caller
+    can fall back to the pure writer — which performs the same validation
+    itself, so nothing is skipped.  Requires numpy.
+    """
+    np = _np
+    if np is None:
+        raise KernelError("pack_fields requires numpy")
+    batch = fields if isinstance(fields, list) else list(fields)
+    if not batch:
+        return b"", 0
+    try:
+        arr = np.array(batch, dtype=np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        return None
+    v, w = arr[:, 0], arr[:, 1]
+    if int(w.max()) > 63:
+        return None  # a 64-bit shift is UB in the lanes; write_many handles it
+    if (w < 0).any() or (v < 0).any() or ((v >> np.maximum(w, 0)) != 0).any():
+        # Re-run the scalar checks to raise on the first offending field,
+        # byte-identical to BitWriter.write_many's messages and order.
+        for value, width in batch:
+            if width < 0:
+                raise CodecError(f"width must be >= 0, got {width}")
+            if value < 0:
+                raise CodecError(f"value must be >= 0, got {value}")
+            if value >> width:
+                raise CodecError(f"value {value} does not fit in {width} bits")
+        raise AssertionError("vectorized validation disagreed with scalar")
+    return _pack_lanes(v.astype(np.uint64), w)
+
+
+def pack_arrays(values, widths) -> tuple[bytes, int] | None:
+    """:func:`pack_fields` for pre-staged 1-D integer arrays.
+
+    Same validation and output as :func:`pack_fields`, but the inputs are
+    already numpy arrays (or anything ``np.asarray`` accepts), skipping
+    the per-batch list conversion — this is the shape the bench suite
+    feeds the kernel.  Returns ``None`` outside the 63-bit width envelope.
+    """
+    np = _np
+    if np is None:
+        raise KernelError("pack_arrays requires numpy")
+    v = np.ascontiguousarray(values, dtype=np.int64)
+    w = np.ascontiguousarray(widths, dtype=np.int64)
+    if v.ndim != 1 or v.shape != w.shape:
+        raise ValueError("values and widths must be 1-D arrays of equal length")
+    if v.size == 0:
+        return b"", 0
+    if int(w.max()) > 63:
+        return None
+    if (w < 0).any() or (v < 0).any() or ((v >> np.maximum(w, 0)) != 0).any():
+        for value, width in zip(v.tolist(), w.tolist()):
+            if width < 0:
+                raise CodecError(f"width must be >= 0, got {width}")
+            if value < 0:
+                raise CodecError(f"value must be >= 0, got {value}")
+            if value >> width:
+                raise CodecError(f"value {value} does not fit in {width} bits")
+        raise AssertionError("vectorized validation disagreed with scalar")
+    return _pack_lanes(v.astype(np.uint64), w)
+
+
+def _pack_lanes(vu, w) -> tuple[bytes, int]:
+    """Pack validated uint64 values / int64 widths into ``(data, nbits)``.
+
+    A field at bit offset ``s`` with width ``<= 63`` spans at most two
+    64-bit output words.  Left-aligning each value inside a 128-bit
+    (hi, lo) lane pair splits it into those two word contributions; bit
+    ranges are disjoint, so combining contributions per word is a bitwise
+    OR.  The word indices ``s >> 6`` are already sorted (offsets are a
+    cumsum), so one ``bitwise_or.reduceat`` per lane folds every field in
+    C, and the word array's big-endian bytes are the packed stream.
+    """
+    np = _np
+    total = int(w.sum())
+    if total == 0:
+        return b"", 0
+    starts = np.cumsum(w) - w
+    word = starts >> 6
+    # Left shift inside the 128-bit window; t == 128 only for width-0
+    # fields whose value is 0, so clamping to 127 keeps shifts < 64 without
+    # changing any output bit.
+    t = np.minimum(
+        np.uint64(128) - (starts & 63).astype(np.uint64) - w.astype(np.uint64),
+        np.uint64(127),
+    )
+    ge = t >= np.uint64(64)
+    hi = np.where(
+        ge,
+        vu << np.where(ge, t - np.uint64(64), np.uint64(0)),
+        vu >> np.where(ge, np.uint64(0), np.uint64(64) - t),
+    )
+    lo = np.where(ge, np.uint64(0), vu << np.where(ge, np.uint64(0), t))
+    seg = np.concatenate(
+        ([0], np.flatnonzero(word[1:] != word[:-1]) + 1)
+    )  # first field of each distinct output word, in order
+    out = np.zeros(((total + 63) >> 6) + 1, dtype=np.uint64)
+    uniq = word[seg]
+    out[uniq] = np.bitwise_or.reduceat(hi, seg)
+    out[uniq + 1] |= np.bitwise_or.reduceat(lo, seg)
+    nbytes = (total + 7) >> 3
+    return out.astype(">u8").view(np.uint8)[:nbytes].tobytes(), total
+
+
+def write_fields(writer, fields) -> None:
+    """Append ``(value, width)`` pairs to ``writer`` via the active backend.
+
+    The protocol encoders call this instead of ``writer.write_many`` so the
+    pack hot path dispatches with the rest of the kernels; on the pure
+    backend it *is* ``write_many``, bit for bit.
+    """
+    if _np is None or _active.get() != "numpy":
+        writer.write_many(fields)
+        return
+    batch = fields if isinstance(fields, list) else list(fields)
+    packed = pack_fields(batch)
+    if packed is None:
+        writer.write_many(batch)
+        return
+    writer.write_packed(*packed)

@@ -25,7 +25,15 @@ from repro.bits.writer import BitWriter
 from repro.errors import DecodeError, SketchFailure
 from repro.model.message import Message
 from repro.model.multiround import MultiRoundProtocol
-from repro.sketching.connectivity import AGMConnectivityProtocol, _UnionFind, _unzigzag, _zigzag, edge_pair
+from repro.sketching import kernels
+from repro.sketching.connectivity import (
+    AGMConnectivityProtocol,
+    _UnionFind,
+    _unzigzag,
+    _zigzag,
+    edge_pair,
+    incidence_updates,
+)
 from repro.sketching.l0sampler import L0Sampler
 
 __all__ = ["MultiRoundSketchConnectivity"]
@@ -54,25 +62,18 @@ class MultiRoundSketchConnectivity(MultiRoundProtocol):
             return Message.empty()
         params = self._inner.params_for(n, round_idx)
         sampler = L0Sampler(params)
-        for w in neighborhood:
-            if i < w:
-                sampler.update(self._edge_index(n, i, w), +1)
-            else:
-                sampler.update(self._edge_index(n, w, i), -1)
+        sampler.update_many(incidence_updates(n, i, neighborhood))
         w0, w1 = self._inner._widths(n)
         writer = BitWriter()
-        writer.write_many(
-            field
-            for c0, c1, c2 in sampler.counters()
-            for field in ((_zigzag(c0), w0), (_zigzag(c1), w1), (c2, 61))
+        kernels.write_fields(
+            writer,
+            (
+                field
+                for c0, c1, c2 in sampler.counters()
+                for field in ((_zigzag(c0), w0), (_zigzag(c1), w1), (c2, 61))
+            ),
         )
         return Message.from_writer(writer)
-
-    @staticmethod
-    def _edge_index(n: int, u: int, v: int) -> int:
-        from repro.sketching.connectivity import edge_index
-
-        return edge_index(n, u, v)
 
     # ------------------------------------------------------------------ #
     # referee side: one merge phase per round, empty feedback

@@ -124,3 +124,32 @@ class TestCapacityBound:
         vals = [zarankiewicz_lower_bound(n) for n in (4, 16, 64, 256)]
         assert vals == sorted(vals)
         assert zarankiewicz_lower_bound(1) == 0.0
+
+
+class TestPureFallbackParity:
+    """The big-int fallback counts exactly what the numpy path counts."""
+
+    def test_bit_columns_match_bit_arrays(self):
+        from repro.graphs import counting
+
+        if counting.np is None:
+            pytest.skip("numpy not installed; the fallback IS the active path")
+        for n in (3, 4, 5):
+            pairs_np, bits = counting._pair_bit_arrays(n)
+            pairs_py, cols, total = counting._pair_bit_columns(n)
+            assert pairs_np == pairs_py and total == bits.shape[0]
+            for e, col in enumerate(cols):
+                want = sum(int(b) << g for g, b in enumerate(bits[:, e]))
+                assert col == want, (n, e)
+
+    def test_counts_identical_with_numpy_disabled(self, monkeypatch):
+        from repro.graphs import counting
+
+        if counting.np is None:
+            pytest.skip("numpy not installed; the fallback IS the active path")
+        want = [(counting.count_square_free(n), counting.count_triangle_free(n))
+                for n in (4, 5, 6)]
+        monkeypatch.setattr(counting, "np", None)
+        got = [(counting.count_square_free(n), counting.count_triangle_free(n))
+               for n in (4, 5, 6)]
+        assert got == want

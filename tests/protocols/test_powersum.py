@@ -37,7 +37,7 @@ class TestComputePowerSums:
 
     def test_matches_vandermonde_matrix_product(self):
         """b = A(k,n) · x̄ — check against an explicit matrix multiply."""
-        import numpy as np
+        np = pytest.importorskip("numpy", exc_type=ImportError)
 
         n, k = 12, 3
         nbhd = frozenset({2, 5, 11})

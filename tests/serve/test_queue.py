@@ -203,3 +203,59 @@ def test_timeout_is_a_hard_failure(tmp_path, monkeypatch):
     assert job["state"] == "failed"
     assert "timeout" in job["error"]
     assert job["attempts"] == 0  # no retry happened
+
+
+# --------------------------------------------------------------------- #
+# wall-time accounting and the Retry-After hint
+# --------------------------------------------------------------------- #
+
+
+def test_cancel_queued_job_does_not_observe_wall_time(tmp_path):
+    """Regression: a job cancelled while still queued never started, so it
+    must not contribute a 0.0 sample to serve_job_wall_seconds — that
+    dragged the histogram mean (and with it the Retry-After hint) toward
+    zero on queues with many early cancellations."""
+    sched = _scheduler(tmp_path)
+    for _ in range(5):
+        job = sched.submit({"campaign": "smoke"})
+        done = sched.cancel(job["id"])
+        assert done["state"] == "cancelled" and done["wall_seconds"] == 0.0
+    snap = sched.metrics.to_dict()
+    assert "serve_job_wall_seconds" not in snap["histograms"]
+    assert snap["counters"]['serve_jobs_finished{state="cancelled"}'] == 5
+
+
+def test_started_jobs_still_observe_wall_time(tmp_path):
+    import time
+
+    sched = _scheduler(tmp_path)
+    job = sched.submit({"campaign": "smoke"})
+    sched.store.update(job["id"], state="running",
+                       _started_clock=time.monotonic() - 4.0)
+    sched._finish(sched.store.get(job["id"]), "done")
+    h = sched.metrics.to_dict()["histograms"]["serve_job_wall_seconds"]
+    assert h["count"] == 1 and h["total"] >= 4.0
+
+
+def test_retry_after_clamps_to_one_second_and_tracks_the_mean(tmp_path):
+    sched = _scheduler(tmp_path)
+    assert sched._retry_after() == 1.0  # no history yet: never 0
+    sched.metrics.observe("serve_job_wall_seconds", 0.05)
+    assert sched._retry_after() == 1.0  # fast jobs clamp up, never down
+    sched.metrics.observe("serve_job_wall_seconds", 19.95)
+    assert sched._retry_after() == 10.0  # (0.05 + 19.95) / 2
+
+
+def test_retry_after_ignores_cancelled_while_queued(tmp_path):
+    """The hint reflects only jobs that actually ran: queued-cancellations
+    in between must not dilute it."""
+    import time
+
+    sched = _scheduler(tmp_path)
+    job = sched.submit({"campaign": "smoke"})
+    sched.store.update(job["id"], state="running",
+                       _started_clock=time.monotonic() - 8.0)
+    sched._finish(sched.store.get(job["id"]), "done")
+    for _ in range(3):  # would have averaged in 0.0s walls before the fix
+        sched.cancel(sched.submit({"campaign": "smoke"})["id"])
+    assert sched._retry_after() >= 8.0

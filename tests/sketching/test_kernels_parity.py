@@ -1,0 +1,292 @@
+"""Seeded parity fuzz sweep: the numpy kernels are bit-identical to pure.
+
+The kernel backend is an *execution* axis — the acceptance contract is
+that no digest, packed bit-stream, or counter can distinguish it from the
+pure reference.  This battery sweeps randomized ``(seed, level, stream)``
+triples through both backends and asserts exact equality, plus the
+selection/validation semantics that hold with or without numpy.
+
+Everything under ``TestNumpy*`` skips cleanly on interpreters without
+numpy (the optional-dependency policy: ``pure`` is the zero-dependency
+default and the only backend CI's no-numpy leg exercises).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.bits.writer import BitWriter
+from repro.errors import CodecError, KernelError
+from repro.sketching import kernels
+from repro.sketching.field import MERSENNE61, derive_params_block, splitmix64
+from repro.sketching.l0sampler import L0Sampler, L0SamplerParams
+
+requires_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy not installed"
+)
+
+
+# --------------------------------------------------------------------- #
+# backend selection (backend-independent semantics)
+# --------------------------------------------------------------------- #
+
+
+class TestSelection:
+    def test_pure_is_the_default(self):
+        assert kernels.DEFAULT_KERNELS == "pure"
+        assert kernels.active_kernels() == "pure"
+        assert kernels.available_kernels()[0] == "pure"
+
+    def test_resolve_rejects_unknown_backend(self):
+        with pytest.raises(KernelError, match="unknown kernel backend"):
+            kernels.resolve_kernels("cuda")
+
+    def test_resolve_none_means_active(self):
+        assert kernels.resolve_kernels(None) == kernels.active_kernels()
+
+    def test_use_kernels_scopes_and_restores(self):
+        backend = "numpy" if kernels.numpy_available() else "pure"
+        with kernels.use_kernels(backend) as active:
+            assert active == backend
+            assert kernels.active_kernels() == backend
+        assert kernels.active_kernels() == "pure"
+
+    def test_use_kernels_is_thread_local(self):
+        backend = "numpy" if kernels.numpy_available() else "pure"
+        seen = []
+        barrier = threading.Barrier(2)
+
+        def other():
+            barrier.wait()
+            seen.append(kernels.active_kernels())
+
+        with kernels.use_kernels(backend):
+            t = threading.Thread(target=other)
+            t.start()
+            barrier.wait()
+            t.join()
+        assert seen == ["pure"]  # a fresh thread never inherits the scope
+
+    @pytest.mark.skipif(kernels.numpy_available(), reason="needs numpy absent")
+    def test_numpy_request_fails_loudly_without_numpy(self):
+        with pytest.raises(KernelError, match="numpy is not installed"):
+            kernels.resolve_kernels("numpy")
+
+
+# --------------------------------------------------------------------- #
+# field arithmetic
+# --------------------------------------------------------------------- #
+
+
+@requires_numpy
+class TestNumpyFieldParity:
+    def test_mulmod_fuzz_matches_python_ints(self):
+        import numpy as np
+
+        rng = random.Random(0xF1E1D)
+        a = [rng.randrange(MERSENNE61) for _ in range(2000)]
+        b = [rng.randrange(MERSENNE61) for _ in range(2000)]
+        got = kernels.mulmod61(
+            np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64)
+        )
+        assert got.tolist() == [(x * y) % MERSENNE61 for x, y in zip(a, b)]
+
+    def test_powmod_fuzz_matches_pow(self):
+        import numpy as np
+
+        rng = random.Random(0xB0B)
+        base = rng.randrange(2, MERSENNE61)
+        exps = [rng.randrange(1 << rng.randrange(1, 61)) for _ in range(500)]
+        got = kernels.powmod61(np.uint64(base), np.array(exps, dtype=np.uint64))
+        assert got.tolist() == [pow(base, e, MERSENNE61) for e in exps]
+
+    def test_dense_powmod_matches_pow_including_fallback(self):
+        import numpy as np
+
+        rng = random.Random(3)
+        base = rng.randrange(2, MERSENNE61)
+        small = np.array([rng.randrange(1 << 20) for _ in range(300)], dtype=np.uint64)
+        huge = np.array([(1 << 60) - 7, 5, 1 << 59], dtype=np.uint64)
+        for exps in (small, huge, np.array([0], dtype=np.uint64)):
+            got = kernels._powmod61_dense(base, exps)
+            assert got.tolist() == [pow(base, int(e), MERSENNE61) for e in exps]
+
+    def test_splitmix_vector_matches_scalar(self):
+        import numpy as np
+
+        xs = [random.Random(9).randrange(1 << 64) for _ in range(256)]
+        got = kernels.splitmix64_np(np.array(xs, dtype=np.uint64))
+        assert got.tolist() == [splitmix64(x) for x in xs]
+
+    def test_derive_block_batch_matches_scalar_blocks(self):
+        rng = random.Random(0xDE51)
+        tags = [(rng.randrange(1 << 64), rng.randrange(1 << 16)) for _ in range(200)]
+        got = kernels.derive_params_block_batch(0xBEC4E12011, 4, tags)
+        assert got == [derive_params_block(0xBEC4E12011, 4, *row) for row in tags]
+
+    def test_derive_block_batch_validates(self):
+        with pytest.raises(ValueError, match="count"):
+            kernels.derive_params_block_batch(1, -1, [(1,)])
+        with pytest.raises(ValueError, match="same length"):
+            kernels.derive_params_block_batch(1, 2, [(1,), (1, 2)])
+        assert kernels.derive_params_block_batch(1, 2, []) == []
+
+
+# --------------------------------------------------------------------- #
+# L0 sampler: (seed, level, stream) sweep
+# --------------------------------------------------------------------- #
+
+
+@requires_numpy
+class TestNumpyL0Parity:
+    def test_seeded_sweep_counter_identical(self):
+        rng = random.Random(0x5EED)
+        for trial in range(40):
+            m = rng.randrange(1, 5000)
+            seed = rng.randrange(1 << 64)
+            level_tag = rng.randrange(1 << 20)
+            params = L0SamplerParams.derive(m, seed, level_tag)
+            stream = [
+                (rng.randrange(m), rng.randrange(-20, 21))
+                for _ in range(rng.randrange(0, 500))
+            ]
+            pure, vec = L0Sampler(params), L0Sampler(params)
+            pure.update_many(stream)
+            with kernels.use_kernels("numpy"):
+                vec.update_many(stream)
+            assert pure.counters() == vec.counters(), (trial, m, seed)
+
+    def test_out_of_range_index_applies_prefix_then_raises_like_pure(self):
+        params = L0SamplerParams.derive(32, 1)
+        stream = [(3, 1), (5, -1), (32, 1), (7, 1)]
+        pure, vec = L0Sampler(params), L0Sampler(params)
+        with pytest.raises(ValueError, match="outside"):
+            pure.update_many(stream)
+        with kernels.use_kernels("numpy"):
+            with pytest.raises(ValueError, match="outside"):
+                vec.update_many(stream)
+        assert pure.counters() == vec.counters()  # valid prefix applied
+
+    def test_huge_delta_falls_back_and_stays_identical(self):
+        params = L0SamplerParams.derive(64, 2)
+        stream = [(1, 1 << 80), (2, -(1 << 90)), (3, 5)]
+        pure, vec = L0Sampler(params), L0Sampler(params)
+        pure.update_many(stream)
+        with kernels.use_kernels("numpy"):
+            vec.update_many(stream)
+        assert pure.counters() == vec.counters()
+
+    def test_sample_results_agree_after_batched_updates(self):
+        rng = random.Random(77)
+        params = L0SamplerParams.derive(400, 13, 2)
+        stream = [(rng.randrange(400), rng.choice((-1, 1))) for _ in range(300)]
+        pure, vec = L0Sampler(params), L0Sampler(params)
+        pure.update_many(stream)
+        with kernels.use_kernels("numpy"):
+            vec.update_many(stream)
+        def outcome(sampler):
+            from repro.errors import SketchFailure
+
+            try:
+                return ("ok", sampler.sample())
+            except SketchFailure:
+                return ("sketch-failure", None)
+
+        assert outcome(pure) == outcome(vec)
+
+
+# --------------------------------------------------------------------- #
+# bit packing: packed streams byte-identical to the pure writer
+# --------------------------------------------------------------------- #
+
+
+@requires_numpy
+class TestNumpyPackParity:
+    WIDTHS = (0, 1, 3, 7, 8, 12, 24, 31, 32, 33, 61, 63)
+
+    def test_seeded_stream_sweep_byte_identical(self):
+        import numpy as np
+
+        rng = random.Random(0xBEEF)
+        for trial in range(120):
+            fields = []
+            for _ in range(rng.randrange(0, 200)):
+                width = rng.choice(self.WIDTHS)
+                fields.append((rng.getrandbits(width) if width else 0, width))
+            ref = BitWriter()
+            ref.write_many(fields)
+            want = (ref.to_bytes(), len(ref))
+            assert kernels.pack_fields(fields) == want, trial
+            if fields:
+                values = np.array([f[0] for f in fields], dtype=np.int64)
+                widths = np.array([f[1] for f in fields], dtype=np.int64)
+                assert kernels.pack_arrays(values, widths) == want, trial
+
+    def test_write_fields_splices_into_nonempty_writer(self):
+        rng = random.Random(21)
+        fields = [(rng.getrandbits(24), 24) for _ in range(100)]
+        pure, vec = BitWriter(), BitWriter()
+        pure.write_bits(0b1011, 4)
+        vec.write_bits(0b1011, 4)
+        pure.write_many(fields)
+        with kernels.use_kernels("numpy"):
+            kernels.write_fields(vec, fields)
+        assert pure.to_bytes() == vec.to_bytes() and len(pure) == len(vec)
+
+    def test_validation_errors_match_pure_writer_first_failure(self):
+        bad_batches = [
+            [(1, 1), (-1, 3)],
+            [(1, 1), (9, 2)],
+            [(1, 1), (2, -2)],
+        ]
+        for batch in bad_batches:
+            try:
+                BitWriter().write_many(batch)
+            except CodecError as exc:
+                pure_msg = str(exc)
+            with pytest.raises(CodecError) as info:
+                kernels.pack_fields(batch)
+            assert str(info.value) == pure_msg
+
+    def test_wide_fields_fall_back_to_pure_writer(self):
+        fields = [(1 << 70, 80), (5, 3)]  # width > 63: outside the lanes
+        assert kernels.pack_fields(fields) is None
+        pure, vec = BitWriter(), BitWriter()
+        pure.write_many(fields)
+        with kernels.use_kernels("numpy"):
+            kernels.write_fields(vec, fields)  # falls back internally
+        assert pure.to_bytes() == vec.to_bytes() and len(pure) == len(vec)
+
+    def test_empty_batch(self):
+        assert kernels.pack_fields([]) == (b"", 0)
+        writer = BitWriter()
+        with kernels.use_kernels("numpy"):
+            kernels.write_fields(writer, [])
+        assert len(writer) == 0
+
+
+# --------------------------------------------------------------------- #
+# write_packed (the splice primitive both backends share)
+# --------------------------------------------------------------------- #
+
+
+class TestWritePacked:
+    def test_splices_exactly_nbits(self):
+        writer = BitWriter()
+        writer.write_bits(0b11, 2)
+        writer.write_packed(b"\xa5\x80", 9)  # 1010 0101 1
+        check = BitWriter()
+        check.write_bits(0b11, 2)
+        for bit in "101001011":
+            check.write_bits(int(bit), 1)
+        assert writer.to_bytes() == check.to_bytes() and len(writer) == len(check)
+
+    def test_validates_nbits(self):
+        writer = BitWriter()
+        with pytest.raises(CodecError):
+            writer.write_packed(b"\xff", -1)
+        with pytest.raises(CodecError):
+            writer.write_packed(b"\xff", 9)
+        writer.write_packed(b"", 0)
+        assert len(writer) == 0

@@ -175,3 +175,48 @@ class TestL0Sampler:
         params = self._params(64, tag=4)
         with pytest.raises(ValueError):
             L0Sampler.from_counters(params, [(0, 0, 0)])
+
+
+class TestDeriveMemoization:
+    """The derive cache is bounded and invisible: same (m, seed, tags) in,
+    same params out, whatever the cache has seen, cleared, or evicted."""
+
+    def test_cache_is_bounded(self):
+        from repro.sketching.l0sampler import _derive_cached
+
+        info = _derive_cached.cache_info()
+        assert info.maxsize == 1 << 16  # bounded — never grows without limit
+
+    def test_digest_contract_across_cache_clear(self):
+        from repro.sketching.l0sampler import _derive_cached
+
+        before = [L0SamplerParams.derive(m, 0xBEC4E12011, t)
+                  for m in (16, 300, 4096) for t in (0, 1, 7)]
+        _derive_cached.cache_clear()
+        after = [L0SamplerParams.derive(m, 0xBEC4E12011, t)
+                 for m in (16, 300, 4096) for t in (0, 1, 7)]
+        assert before == after  # recomputed values identical to cached ones
+
+    def test_eviction_cannot_change_values(self):
+        """Fill a tiny clone of the cache far past its bound: late lookups
+        of evicted keys still return value-identical params."""
+        from functools import lru_cache
+
+        from repro.sketching.l0sampler import _derive_cached
+
+        tiny = lru_cache(maxsize=8)(_derive_cached.__wrapped__)
+        keys = [(16 + i, 42, (i,)) for i in range(64)]
+        first = [tiny(*k) for k in keys]
+        # every early key has been evicted by now (maxsize 8 << 64 keys)
+        assert tiny.cache_info().currsize == 8
+        second = [tiny(*k) for k in keys]
+        assert first == second
+        assert first == [_derive_cached.__wrapped__(*k) for k in keys]
+
+    def test_cache_returns_same_object_uncached_equal_value(self):
+        a = L0SamplerParams.derive(128, 9, 5)
+        b = L0SamplerParams.derive(128, 9, 5)
+        assert a is b  # memoized hit
+        from repro.sketching.l0sampler import _derive_cached
+
+        assert a == _derive_cached.__wrapped__(128, 9, (5,))  # equal by value
