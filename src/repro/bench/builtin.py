@@ -619,3 +619,152 @@ def _bench_serve_status_poll(scale: float = 1.0) -> BenchCase:
 
     return BenchCase(op=op, meta={"jobs": len(jobs), "polls": polls,
                                   "workers": 0, "transport": "http"})
+
+
+# --------------------------------------------------------------------- #
+# the record store and incremental aggregation (PR 10)
+# --------------------------------------------------------------------- #
+
+
+def _store_records(scale: float) -> list[dict]:
+    """A splitmix-derived synthetic campaign, schema-shaped and JSON-able."""
+    count = _scaled(600, scale, lo=48)
+    protocols = ("forest", "spanning_tree", "degeneracy")
+    families = ("random_forest", "path")
+    records = []
+    x = _SEED
+    for i in range(count):
+        x = splitmix64(x)
+        a = x
+        x = splitmix64(x)
+        b = x
+        n = (16, 32, 64)[a % 3]
+        records.append({
+            "spec_version": 2,
+            "spec": {
+                "scenario": "bench", "family": families[b % 2], "n": n,
+                "seed": i, "protocol": protocols[a % 3],
+                "family_params": {}, "protocol_params": {},
+                "budget_bits": None, "shuffle_delivery": False,
+                "faults": None,
+            },
+            "result": {
+                "status": ("ok", "ok", "ok", "violation")[b % 4],
+                "output_kind": "graph",
+                "output_digest": f"{a % (1 << 32):08x}",
+                "exact": (True, False, None)[a % 3],
+                "graph_n": n, "graph_m": n - 1,
+                "max_message_bits": int(a % 4096),
+                "total_message_bits": int(b % 100_000),
+                "faults": {"dropped": 0, "duplicated": 0, "flipped": 0},
+                "error": "",
+            },
+            "timing": {"wall_seconds": (a % 1000) / 1000.0},
+            "cached": False,
+        })
+    return records
+
+
+def _store_compact_fixture(scale: float):
+    """Both representations of the same campaign, on disk, off the clock."""
+    import pathlib
+    import tempfile
+
+    from repro.results.records import canonical_line
+    from repro.store import write_columnar
+
+    records = _store_records(scale)
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+    root = pathlib.Path(tmp.name)
+    jsonl = root / "bench.jsonl"
+    jsonl.write_text("".join(canonical_line(r) + "\n" for r in records))
+    # Uncompressed: the claim under test is page slicing, not deflate.
+    columns = write_columnar(root / "bench.columns", records, compress=False)
+    return tmp, jsonl, columns, len(records)
+
+
+@register("store-compact", kind="benchmark", capabilities=("micro", "store"),
+          summary="One trend metric out of a compacted campaign: slice the "
+                  "result.max_message_bits page from the columnar store.")
+def _bench_store_compact(scale: float = 1.0) -> BenchCase:
+    from repro.store import read_column
+
+    tmp, _jsonl, columns, count = _store_compact_fixture(scale)
+
+    def op():
+        # `tmp` is closed over, keeping both files alive across repeats.
+        assert tmp is not None
+        values = read_column(columns, "result.max_message_bits")
+        return {"ops": len(values), "digest": _digest(values)}
+
+    return BenchCase(op=op, meta={"records": count, "layout": "columnar"})
+
+
+@register("store-compact-naive", kind="benchmark",
+          capabilities=("micro", "store", "reference"),
+          summary="The same metric by parsing every canonical JSONL record "
+                  "— the pre-store path the column slice must beat.")
+def _bench_store_compact_naive(scale: float = 1.0) -> BenchCase:
+    tmp, jsonl, _columns, count = _store_compact_fixture(scale)
+
+    def op():
+        assert tmp is not None
+        values = [
+            json.loads(line)["result"]["max_message_bits"]
+            for line in jsonl.read_text().splitlines() if line
+        ]
+        return {"ops": len(values), "digest": _digest(values)}
+
+    return BenchCase(op=op, meta={"records": count, "layout": "jsonl"})
+
+
+_AGG_POLLS = 16  # summary polls per simulated campaign
+
+
+def _agg_chunks(scale: float) -> list[list[dict]]:
+    """The campaign's records as they land between ``/summary`` polls."""
+    records = _store_records(scale)
+    size = max(1, len(records) // _AGG_POLLS)
+    return [records[i:i + size] for i in range(0, len(records), size)]
+
+
+@register("aggregate-incremental", kind="benchmark",
+          capabilities=("micro", "store"),
+          summary="A polled campaign summary served from maintained "
+                  "Aggregator state: feed each new chunk, snapshot groups.")
+def _bench_aggregate_incremental(scale: float = 1.0) -> BenchCase:
+    from repro.results.aggregate import Aggregator
+
+    chunks = _agg_chunks(scale)
+    total = sum(len(c) for c in chunks)
+
+    def op():
+        agg = Aggregator(by=("protocol", "n"))
+        groups = None
+        for chunk in chunks:
+            agg.feed_many(chunk)
+            groups = agg.groups()  # every poll answers with fresh groups
+        return {"ops": total, "digest": _digest(groups)}
+
+    return BenchCase(op=op, meta={"records": total, "polls": len(chunks)})
+
+
+@register("aggregate-incremental-naive", kind="benchmark",
+          capabilities=("micro", "store", "reference"),
+          summary="The same polls re-aggregating every record seen so far "
+                  "from scratch — the O(n·polls) bug the cache fixed.")
+def _bench_aggregate_incremental_naive(scale: float = 1.0) -> BenchCase:
+    from repro.results.aggregate import aggregate
+
+    chunks = _agg_chunks(scale)
+    total = sum(len(c) for c in chunks)
+
+    def op():
+        seen: list[dict] = []
+        groups = None
+        for chunk in chunks:
+            seen.extend(chunk)
+            groups = aggregate(seen, by=("protocol", "n"))
+        return {"ops": total, "digest": _digest(groups)}
+
+    return BenchCase(op=op, meta={"records": total, "polls": len(chunks)})

@@ -13,7 +13,11 @@ Usage::
     python -m repro trace results/smoke.events.jsonl   # phase breakdown
     python -m repro stats smoke                # metrics, Prometheus text
     python -m repro merge smoke                # reassemble shard streams
+    python -m repro merge smoke --compact      # + columnar sibling & trend point
+    python -m repro store compact results/smoke.jsonl   # write smoke.columns
+    python -m repro store verify results/smoke.jsonl    # prove it lossless
     python -m repro report results/smoke.jsonl --by protocol,n
+    python -m repro report results/smoke.jsonl --trend  # + trend ledger gate
     python -m repro diff results-a/smoke.jsonl results-b/smoke.jsonl
     python -m repro baseline freeze results/smoke.jsonl --name smoke
     python -m repro baseline check results/smoke.jsonl benchmarks/baselines/smoke.json
@@ -28,13 +32,15 @@ Usage::
 the ``experiment`` subcommand so existing scripts keep working.
 
 Exit codes: 0 success, 1 gate/domain failure (``diff`` found differences,
-``baseline check`` failed, ``bench --gate`` regressed, ``merge`` found
-incomplete shards — retry after resuming them, ``submit`` refused by a
-full queue — retry later, ``job`` landed failed/cancelled), 2 usage or
-connection error (unknown subcommand, malformed flags, unreadable or
-schema-invalid input, bad shard geometry, ``--resume`` without a manifest
-or against a stale/edited one, no daemon listening at ``--url``, an
-unknown job ID).  An interrupted ``campaign`` returns 130 after releasing
+``baseline check`` failed, ``bench --gate`` regressed — including a trend
+regression from ``--trends``, ``merge`` found incomplete shards — retry
+after resuming them, ``report`` pointed at a missing/empty records file
+or found a trend regression with ``--trend``, ``store verify`` found a
+stale or lossy columnar file, ``submit`` refused by a full queue — retry
+later, ``job`` landed failed/cancelled), 2 usage or connection error
+(unknown subcommand, malformed flags, unreadable or schema-invalid
+input, bad shard geometry, ``--resume`` without a manifest or against a
+stale/edited one, no daemon listening at ``--url``, an unknown job ID).  An interrupted ``campaign`` returns 130 after releasing
 its workers (partial results stay durable — re-run with ``--resume``).
 Argparse errors are converted to return codes — :func:`main` never lets
 ``SystemExit`` escape.
@@ -56,8 +62,8 @@ from repro.analysis import format_table
 __all__ = ["main"]
 
 _SUBCOMMANDS = ("list", "experiment", "campaign", "merge", "report", "diff",
-                "baseline", "bench", "trace", "stats", "serve", "submit",
-                "jobs", "job")
+                "baseline", "bench", "trace", "stats", "store", "serve",
+                "submit", "jobs", "job")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -128,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("--results-dir", default="results", metavar="DIR",
                          help="where the manifest and shard streams live "
                          "(default: results/)")
+    p_merge.add_argument("--compact", action="store_true",
+                         help="also write the columnar .columns sibling and "
+                         "append the campaign's trend point to "
+                         "<results-dir>/trends.jsonl")
     p_merge.add_argument("--json", action="store_true",
                          help="emit the merge summary as JSON")
 
@@ -138,6 +148,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(default: protocol,family,n)")
     p_rep.add_argument("--timing", action="store_true",
                        help="include (nondeterministic) wall-clock columns")
+    p_rep.add_argument("--trend", action="store_true",
+                       help="append this campaign's point to the trend "
+                       "ledger and exit 1 when its p95 message bits rose "
+                       "for three consecutive comparable runs")
+    p_rep.add_argument("--trends", default=None, metavar="LEDGER",
+                       help="trend ledger path (default: trends.jsonl next "
+                       "to the records file; implies --trend)")
     p_rep.add_argument("--json", action="store_true", help="emit groups as JSON")
 
     p_diff = sub.add_parser("diff", help="compare two campaign JSONL files run-by-run")
@@ -186,6 +203,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="with --gate: fail when a benchmark's mean wall "
                          "time exceeds R x the baseline's (default: timing "
                          "never fails the gate)")
+    p_bench.add_argument("--trends", default=None, metavar="LEDGER",
+                         help="append each benchmark's p95 wall seconds to "
+                         "this trend ledger and fail (exit 1) when one rose "
+                         "for three consecutive comparable runs")
     p_bench.add_argument("--json", action="store_true",
                          help="emit the report (and gate verdict) as JSON")
 
@@ -207,6 +228,29 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="where metrics snapshots live (default: results/)")
     p_stats.add_argument("--json", action="store_true",
                          help="emit the raw snapshot as JSON")
+
+    p_store = sub.add_parser(
+        "store", help="columnar record store: compact, verify, read")
+    store_sub = p_store.add_subparsers(dest="action",
+                                       metavar="{compact,verify,read}")
+    p_sc = store_sub.add_parser(
+        "compact", help="write the columnar .columns sibling of a JSONL file")
+    p_sc.add_argument("records", help="path to a results/<name>.jsonl file")
+    p_sc.add_argument("--no-compress", action="store_true",
+                      help="skip deflating the column pages")
+    p_sc.add_argument("--json", action="store_true",
+                      help="emit the compaction summary as JSON")
+    p_sv = store_sub.add_parser(
+        "verify", help="prove a columnar file lossless against its JSONL "
+        "(exit 1 when stale or lossy)")
+    p_sv.add_argument("records", help="path to a results/<name>.jsonl file")
+    p_sv.add_argument("columns", nargs="?", default=None,
+                      help="columnar file (default: the .columns sibling)")
+    p_sv.add_argument("--json", action="store_true",
+                      help="emit the verdict as JSON")
+    p_sr = store_sub.add_parser(
+        "read", help="decode a .columns file back to canonical JSONL on stdout")
+    p_sr.add_argument("columns", help="path to a <name>.columns file")
 
     p_serve = sub.add_parser(
         "serve", help="run the campaign service daemon (HTTP/JSON on "
@@ -427,7 +471,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.engine import ShardManifest, merge_shards
 
     try:
-        path, count = merge_shards(args.results_dir, args.campaign)
+        path, count = merge_shards(args.results_dir, args.campaign,
+                                   compact=args.compact)
     except ShardIncomplete as exc:
         # shards still running / torn — a retryable gate failure, not misuse
         print(f"not ready: {exc}", file=sys.stderr)
@@ -443,39 +488,138 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     except (ReproError, OSError) as exc:  # missing/stale/corrupt manifest
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    payload = {"campaign": args.campaign, "records": count, "jsonl": str(path)}
+    if args.compact:
+        from repro.store import columnar_path, trends_path
+
+        payload["columns"] = str(columnar_path(path))
+        payload["trends"] = str(trends_path(args.results_dir))
     if args.json:
-        print(json.dumps({"campaign": args.campaign, "records": count,
-                          "jsonl": str(path)}, indent=2, sort_keys=True))
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"merged {args.campaign}: {count} records -> {path}")
+    if args.compact:
+        print(f"  columns -> {payload['columns']}")
+        print(f"  trends  -> {payload['trends']}")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
     from repro.errors import ResultsError
-    from repro.results import DEFAULT_AXES, aggregate, aggregate_table, iter_records
+    from repro.results import Aggregator, DEFAULT_AXES, aggregate_table, iter_records
 
     by = tuple(a.strip() for a in args.by.split(",") if a.strip()) if args.by \
         else DEFAULT_AXES
+    records_path = pathlib.Path(args.records)
+    trend = args.trend or args.trends is not None
+    if not records_path.exists():
+        # A missing records file is an empty results dir — a domain state
+        # ("nothing to report yet"), not CLI misuse: exit 1, no traceback.
+        print(f"error: no records at {records_path} — the campaign has not "
+              "written (or merged) its results yet", file=sys.stderr)
+        return 1
     try:
-        # iter_records streams: only the per-group rollups stay in memory.
-        groups = aggregate(iter_records(args.records), by=by,
-                           include_timing=args.timing)
+        # Streaming + incremental: only the per-group rollups (and, with
+        # --trend, the campaign-wide bit stats) stay in memory.
+        agg = Aggregator(by=by, include_timing=args.timing)
+        spec_hashes: list[str] = []
+        bits = None
+        if trend:
+            from repro.results import spec_content_hash
+            from repro.results.aggregate import RunningStats
+
+            bits = RunningStats()
+        for record in iter_records(records_path):
+            agg.feed(record)
+            if trend:
+                spec_hashes.append(spec_content_hash(record["spec"]))
+                bits.feed(record["result"]["max_message_bits"])
     except (ResultsError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if agg.records == 0:
+        print(f"error: {records_path} holds no records; nothing to report",
+              file=sys.stderr)
+        return 1
+    groups = agg.groups()
+
+    trend_view = None
+    if trend:
+        trend_view = _report_trend(args, records_path, spec_hashes, bits)
+        if trend_view is None:
+            return 2  # the helper already printed the error
+
     total_runs = sum(g["runs"] for g in groups)
     if args.json:
         payload = {"records": total_runs, "by": list(by), "groups": groups}
+        if trend_view is not None:
+            payload["trend"] = trend_view
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
-    title, headers, rows = aggregate_table(
-        groups, by,
-        title=f"{args.records} — {total_runs} runs by {', '.join(by)}",
-        include_timing=args.timing,
-    )
-    print(format_table(title, headers, rows))
+    else:
+        title, headers, rows = aggregate_table(
+            groups, by,
+            title=f"{args.records} — {total_runs} runs by {', '.join(by)}",
+            include_timing=args.timing,
+        )
+        print(format_table(title, headers, rows))
+        if trend_view is not None:
+            tail = trend_view["series"]
+            print(f"  trend {trend_view['ledger']} (key {trend_view['key']}): "
+                  f"{trend_view['points']} comparable run(s), "
+                  f"p95 bits tail {tail}")
+            if trend_view["regressed"]:
+                print("  TREND REGRESSION: p95 message bits rose "
+                      f"{len(tail) - 1} consecutive runs")
+    if trend_view is not None and trend_view["regressed"]:
+        return 1
     return 0
+
+
+def _report_trend(args, records_path, spec_hashes, bits):
+    """Append this report's trend point and check the series; the dict
+    view on success, ``None`` after printing an error (exit 2)."""
+    import pathlib
+
+    from repro.errors import StoreError
+    from repro.store import (
+        DEFAULT_WINDOW, TREND_VERSION, append_point, campaign_trend_key,
+        load_points, regressed, series, trends_path,
+    )
+
+    ledger = pathlib.Path(args.trends) if args.trends \
+        else trends_path(records_path.parent)
+    name = records_path.stem
+    key = campaign_trend_key(spec_hashes)
+    stats = bits.stats()
+    point = {
+        "trend_version": TREND_VERSION,
+        "kind": "campaign",
+        "key": key,
+        "name": name,
+        "metrics": {
+            "records": stats["count"],
+            "max_message_bits_mean": stats["mean"],
+            "max_message_bits_p95": stats["p95"],
+        },
+    }
+    try:
+        prior = series(load_points(ledger), kind="campaign", key=key,
+                       name=name, metric="max_message_bits_p95")
+        append_point(ledger, point)
+    except (StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    values = prior + [stats["p95"]]
+    return {
+        "ledger": str(ledger),
+        "key": key,
+        "points": len(values),
+        "metrics": point["metrics"],
+        "series": values[-(DEFAULT_WINDOW + 1):],
+        "regressed": regressed(values),
+    }
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -594,6 +738,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("note: --time-tolerance has no effect without --gate",
               file=sys.stderr)
 
+    trend_failures = []
+    if args.trends is not None:
+        trend_failures = _bench_trends(args.trends, report)
+        if trend_failures is None:
+            return 2  # the helper already printed the error
+        if verdict is not None:
+            # Fold trajectory failures into the gate verdict so one
+            # structured verdict carries both kinds of regression.
+            verdict.failures.extend(trend_failures)
+
     if args.json:
         payload = dict(report)
         if verdict is not None:
@@ -626,7 +780,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if len(verdict.failures) > 20:
                 print(f"    ... and {len(verdict.failures) - 20} more (use --json)")
             print("  " + ("passed" if verdict.passed else "FAILED"))
-    return 0 if verdict is None or verdict.passed else 1
+        elif trend_failures:
+            for failure in trend_failures:
+                print(f"  FAIL [{failure.kind}] {failure.key}: {failure.detail}")
+    if verdict is not None:
+        return 0 if verdict.passed else 1
+    return 1 if trend_failures else 0
+
+
+def _bench_trends(ledger: str, report: dict):
+    """Append this run's per-benchmark p95 points and check each series.
+
+    Returns the (possibly empty) list of trend
+    :class:`~repro.results.baseline.CheckFailure` entries, or ``None``
+    after printing an error (exit 2).
+    """
+    from repro.errors import StoreError
+    from repro.results.baseline import CheckFailure
+    from repro.store import (
+        DEFAULT_WINDOW, append_point, bench_point, bench_trend_key,
+        load_points, regressed, series,
+    )
+
+    failures = []
+    try:
+        key = bench_trend_key(report["suite"], report["scale"])
+        points = load_points(ledger)
+        for name in report["suite"]:
+            p95 = report["results"][name]["wall_seconds"]["p95"]
+            prior = series(points, kind="bench", key=key, name=name,
+                           metric="wall_p95_seconds")
+            append_point(ledger, bench_point(key=key, name=name,
+                                             wall_p95_seconds=p95))
+            values = prior + [p95]
+            if regressed(values):
+                tail = values[-(DEFAULT_WINDOW + 1):]
+                failures.append(CheckFailure(
+                    "trend", name,
+                    f"wall p95 seconds rose {DEFAULT_WINDOW} consecutive "
+                    f"comparable runs: {tail}"))
+    except (StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    return failures
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -675,6 +871,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.errors import ResultsError, StoreError
+    from repro.store import columnar_path, compact, read_columnar, verify
+
+    if args.action is None:
+        print("repro store: error: an action is required (compact, verify, "
+              "or read)", file=sys.stderr)
+        return 2
+    try:
+        if args.action == "compact":
+            path, count = compact(args.records,
+                                  compress=not args.no_compress)
+            if args.json:
+                print(json.dumps({"records": count, "columns": str(path)},
+                                 indent=2, sort_keys=True))
+            else:
+                print(f"compacted {args.records}: {count} records -> {path}")
+            return 0
+        if args.action == "read":
+            for record in read_columnar(args.columns):
+                print(json.dumps(record, sort_keys=True))
+            return 0
+        # verify: losslessness is a gate — a stale/lossy store is exit 1.
+        try:
+            count = verify(args.records, args.columns)
+        except StoreError as exc:
+            if args.json:
+                print(json.dumps({"passed": False, "error": str(exc)},
+                                 indent=2, sort_keys=True))
+            else:
+                print(f"FAILED: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps({"passed": True, "records": count},
+                             indent=2, sort_keys=True))
+        else:
+            print(f"verified {args.records}: {count} records round-trip "
+                  "byte-identical")
+        return 0
+    except (ResultsError, OSError) as exc:  # unreadable/schema-invalid input
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _serve_url(args: argparse.Namespace) -> str:
@@ -894,6 +1134,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":

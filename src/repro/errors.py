@@ -26,6 +26,7 @@ __all__ = [
     "ResultsError",
     "SchemaError",
     "BaselineError",
+    "StoreError",
     "BenchError",
     "KernelError",
     "ShardError",
@@ -149,6 +150,13 @@ class SchemaError(ResultsError):
 
 class BaselineError(ResultsError):
     """Raised when a frozen baseline file is missing or malformed."""
+
+
+class StoreError(ResultsError):
+    """Raised by the columnar record store and the trend ledger
+    (:mod:`repro.store`): a missing/truncated/corrupt ``.columns`` file, a
+    schema the codec cannot represent, or a malformed ``trends.jsonl``
+    entry anywhere but the torn tail."""
 
 
 class BenchError(ReproError):

@@ -39,6 +39,8 @@ from repro.results.records import (
 )
 from repro.results.aggregate import (
     DEFAULT_AXES,
+    Aggregator,
+    QuantileSketch,
     Stats,
     aggregate,
     aggregate_table,
@@ -70,6 +72,8 @@ __all__ = [
     "within_tolerance",
     "DEFAULT_AXES",
     "Stats",
+    "Aggregator",
+    "QuantileSketch",
     "percentile",
     "normalized_bits",
     "aggregate",

@@ -8,6 +8,25 @@ rates, fault-event totals, and a Lemma-2-style normalization column
 ``max_message_bits / (k² · log₂ n)`` so the bound shows up as a flat line
 across ``n``.
 
+Group state is **bounded**: no column ever materializes its value list.
+Each numeric column keeps a running min/max/count, an exactly-rounded sum
+(integer arithmetic for the bit columns, Shewchuk partials — the
+``math.fsum`` algorithm — for float columns), and a
+:class:`QuantileSketch` for p95.  The sketch is exact up to
+:data:`SKETCH_EXACT_LIMIT` distinct values per group (where the reported
+p95 equals :func:`percentile` bit for bit) and beyond that spills to
+log-spaced buckets of :data:`SKETCH_SUBBUCKETS` sub-buckets per octave,
+bounding the relative error of the reported p95 (which is always an
+observed value) by ``2^(1/SKETCH_SUBBUCKETS) - 1`` ≈ 9.1%.
+
+Every piece of group state is **order-independent**: counts and integer
+sums commute, exact float summation is exactly rounded regardless of feed
+order, and the sketch's exact→spill transition depends only on the value
+multiset.  That is what lets the incremental :class:`Aggregator` — fed
+shard streams as they land, in any shard factorization — produce output
+bit-for-bit equal to a batch :func:`aggregate` over the merged file
+(pinned by the fuzz suite in ``tests/store``).
+
 Everything here is deterministic given the records: means are rounded to a
 fixed precision, groups are emitted in sorted key order, and timing columns
 are opt-in (they are the one nondeterministic part of a record).
@@ -23,7 +42,12 @@ from repro.errors import SchemaError
 
 __all__ = [
     "DEFAULT_AXES",
+    "SKETCH_EXACT_LIMIT",
+    "SKETCH_SUBBUCKETS",
     "Stats",
+    "QuantileSketch",
+    "RunningStats",
+    "Aggregator",
     "percentile",
     "normalized_bits",
     "aggregate",
@@ -40,6 +64,14 @@ DEFAULT_AXES = ("protocol", "family", "n")
 
 #: Rounding applied to every derived float, so reports are byte-stable.
 _PRECISION = 6
+
+#: Distinct values per group below which the p95 sketch is exact.
+SKETCH_EXACT_LIMIT = 4096
+
+#: Log-bucket resolution after spilling: sub-buckets per powers-of-two
+#: octave.  The reported quantile is an observed value from the selected
+#: bucket, so its relative error is at most ``2**(1/SKETCH_SUBBUCKETS)-1``.
+SKETCH_SUBBUCKETS = 8
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -83,6 +115,221 @@ class Stats:
             "mean": self.mean,
             "max": self.max,
             "p95": self.p95,
+        }
+
+
+class QuantileSketch:
+    """Bounded, order-independent quantile state for one numeric column.
+
+    Exact mode keeps a ``value -> count`` table; nearest-rank quantiles
+    over its sorted keys equal :func:`percentile` of the full value list.
+    Once the table exceeds :data:`SKETCH_EXACT_LIMIT` distinct values it
+    spills into log-spaced buckets (``SKETCH_SUBBUCKETS`` per octave),
+    each holding a count and the maximum observed value; a quantile then
+    returns the selected bucket's max — still an observed value, with
+    relative rank-value error bounded by ``2**(1/SKETCH_SUBBUCKETS)-1``.
+
+    All updates commute (counts add, maxes max, and the spill threshold
+    depends only on the distinct-value set), so the final state — and
+    every reported quantile — is independent of feed order.
+    """
+
+    __slots__ = ("count", "_exact", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._exact: dict | None = {}
+        self._buckets: dict[tuple, list] | None = None
+
+    @property
+    def spilled(self) -> bool:
+        """True once the exact table has given way to log buckets."""
+        return self._buckets is not None
+
+    @staticmethod
+    def _bucket_key(value) -> tuple:
+        # (sign, index) sorted by true numeric order: negatives ascend as
+        # |value| descends, hence the flipped index.
+        if value == 0:
+            return (0, 0)
+        idx = math.floor(math.log2(abs(value)) * SKETCH_SUBBUCKETS)
+        return (1, idx) if value > 0 else (-1, -idx)
+
+    def _spill(self) -> None:
+        assert self._exact is not None
+        buckets: dict[tuple, list] = {}
+        for value, count in self._exact.items():
+            key = self._bucket_key(value)
+            slot = buckets.get(key)
+            if slot is None:
+                buckets[key] = [count, value]
+            else:
+                slot[0] += count
+                if value > slot[1]:
+                    slot[1] = value
+        self._exact, self._buckets = None, buckets
+
+    def feed(self, value) -> None:
+        """Absorb one observation."""
+        self.count += 1
+        if self._exact is not None:
+            self._exact[value] = self._exact.get(value, 0) + 1
+            if len(self._exact) > SKETCH_EXACT_LIMIT:
+                self._spill()
+            return
+        assert self._buckets is not None
+        key = self._bucket_key(value)
+        slot = self._buckets.get(key)
+        if slot is None:
+            self._buckets[key] = [1, value]
+        else:
+            slot[0] += 1
+            if value > slot[1]:
+                slot[1] = value
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (commutative, like feeding its values)."""
+        if other._exact is not None:
+            if self._exact is not None:
+                for value, count in other._exact.items():
+                    self._exact[value] = self._exact.get(value, 0) + count
+                if len(self._exact) > SKETCH_EXACT_LIMIT:
+                    self._spill()
+            else:
+                for value, count in other._exact.items():
+                    key = self._bucket_key(value)
+                    slot = self._buckets.get(key)  # type: ignore[union-attr]
+                    if slot is None:
+                        self._buckets[key] = [count, value]  # type: ignore[index]
+                    else:
+                        slot[0] += count
+                        if value > slot[1]:
+                            slot[1] = value
+        else:
+            if self._exact is not None:
+                self._spill()
+            for key, (count, vmax) in other._buckets.items():  # type: ignore[union-attr]
+                slot = self._buckets.get(key)  # type: ignore[union-attr]
+                if slot is None:
+                    self._buckets[key] = [count, vmax]  # type: ignore[index]
+                else:
+                    slot[0] += count
+                    if vmax > slot[1]:
+                        slot[1] = vmax
+        self.count += other.count
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile (q in [0, 100]) of everything fed so far."""
+        if self.count == 0:
+            raise SchemaError("quantile of an empty sketch")
+        if not 0.0 <= q <= 100.0:
+            raise SchemaError(f"quantile q must be in [0, 100], got {q}")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        if self._exact is not None:
+            for value in sorted(self._exact):
+                seen += self._exact[value]
+                if seen >= rank:
+                    return value
+        else:
+            for key in sorted(self._buckets):  # type: ignore[arg-type]
+                count, vmax = self._buckets[key]  # type: ignore[index]
+                seen += count
+                if seen >= rank:
+                    return vmax
+        raise AssertionError("rank exceeded sketch population")  # pragma: no cover
+
+
+class RunningStats:
+    """Bounded replacement for a materialized per-group value list.
+
+    Running count/min/max, an exactly-rounded sum — plain integer
+    arithmetic when ``floats=False`` (the bit-count columns), Shewchuk
+    partial sums (the ``math.fsum`` algorithm, exactly rounded and
+    therefore order-independent) when ``floats=True`` — and a
+    :class:`QuantileSketch` for p95.  Float columns coerce every
+    observation to ``float`` so equal int/float observations cannot
+    produce order-dependent JSON spellings.
+    """
+
+    __slots__ = ("count", "_min", "_max", "_floats", "_int_total",
+                 "_partials", "sketch")
+
+    def __init__(self, *, floats: bool = False) -> None:
+        self.count = 0
+        self._min = self._max = None
+        self._floats = floats
+        self._int_total = 0
+        self._partials: list[float] = []
+        self.sketch = QuantileSketch()
+
+    def feed(self, value) -> None:
+        """Absorb one observation."""
+        if self._floats:
+            value = float(value)
+            # Shewchuk's error-free transformation: fold `value` into the
+            # non-overlapping partials so their sum stays exact.
+            partials = self._partials
+            i = 0
+            x = value
+            for y in partials:
+                if abs(x) < abs(y):
+                    x, y = y, x
+                hi = x + y
+                lo = y - (hi - x)
+                if lo:
+                    partials[i] = lo
+                    i += 1
+                x = hi
+            partials[i:] = [x]
+        else:
+            self._int_total += value
+        self.count += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        self.sketch.feed(value)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another column in (same ``floats`` mode)."""
+        if other.count == 0:
+            return
+        if self._floats:
+            for p in other._partials:
+                partials = self._partials
+                i = 0
+                x = p
+                for y in partials:
+                    if abs(x) < abs(y):
+                        x, y = y, x
+                    hi = x + y
+                    lo = y - (hi - x)
+                    if lo:
+                        partials[i] = lo
+                        i += 1
+                    x = hi
+                partials[i:] = [x]
+        else:
+            self._int_total += other._int_total
+        self.count += other.count
+        if self._min is None or (other._min is not None and other._min < self._min):
+            self._min = other._min
+        if self._max is None or (other._max is not None and other._max > self._max):
+            self._max = other._max
+        self.sketch.merge(other.sketch)
+
+    def stats(self) -> dict:
+        """The :class:`Stats`-shaped summary dict of everything fed."""
+        if self.count == 0:
+            raise SchemaError("stats of an empty column")
+        total = math.fsum(self._partials) if self._floats else self._int_total
+        return {
+            "count": self.count,
+            "min": self._min,
+            "mean": round(total / self.count, _PRECISION),
+            "max": self._max,
+            "p95": self.sketch.quantile(95.0),
         }
 
 
@@ -133,6 +380,124 @@ def _sort_key(value) -> tuple:
     return (type(value).__name__, 0, str(value))
 
 
+class _GroupState:
+    """All bounded state for one group — shared by the batch and
+    incremental paths, which is what makes their outputs equal by
+    construction."""
+
+    __slots__ = ("runs", "statuses", "fault_events", "exact_true",
+                 "exact_false", "max_bits", "total_bits", "norms", "walls")
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.statuses: dict[str, int] = {}
+        self.fault_events = {"dropped": 0, "duplicated": 0, "flipped": 0}
+        self.exact_true = self.exact_false = 0
+        self.max_bits = RunningStats()
+        self.total_bits = RunningStats()
+        self.norms = RunningStats(floats=True)
+        self.walls = RunningStats(floats=True)
+
+    def feed(self, record: Mapping) -> None:
+        res = record["result"]
+        self.runs += 1
+        self.statuses[res["status"]] = self.statuses.get(res["status"], 0) + 1
+        for name in self.fault_events:
+            self.fault_events[name] += res["faults"][name]
+        if res["exact"] is True:
+            self.exact_true += 1
+        elif res["exact"] is False:
+            self.exact_false += 1
+        self.max_bits.feed(res["max_message_bits"])
+        self.total_bits.feed(res["total_message_bits"])
+        norm = normalized_bits(record)
+        if norm is not None:
+            self.norms.feed(norm)
+        wall = record["timing"].get("wall_seconds")
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+            self.walls.feed(wall)
+
+    def finalize(self, key: tuple, by: Sequence[str],
+                 *, include_timing: bool) -> dict:
+        checked = self.exact_true + self.exact_false
+        group = {
+            "group": dict(zip(by, key)),
+            "runs": self.runs,
+            "statuses": dict(sorted(self.statuses.items())),
+            "exact": {
+                "true": self.exact_true,
+                "false": self.exact_false,
+                "checked": checked,
+                "rate": round(self.exact_true / checked, _PRECISION) if checked else None,
+            },
+            "fault_events": dict(self.fault_events),
+            "max_message_bits": self.max_bits.stats(),
+            "total_message_bits": self.total_bits.stats(),
+            "bits_per_k2_log_n": self.norms.stats() if self.norms.count else None,
+        }
+        if include_timing:
+            group["wall_seconds"] = self.walls.stats() if self.walls.count else None
+        return group
+
+
+class Aggregator:
+    """Incremental group-by aggregation: feed records as shards land.
+
+    The maintained-state counterpart of :func:`aggregate` — the serve
+    ``/summary`` endpoint and merge-time compaction feed every durable
+    record once and snapshot :meth:`groups` on demand, instead of
+    re-scanning the stream per question.  Because all group state is
+    order-independent (see the module docstring), the snapshot after
+    feeding any interleaving of the shard streams is bit-for-bit the
+    batch result over the merged file.
+    """
+
+    def __init__(
+        self,
+        *,
+        by: Sequence[str] = DEFAULT_AXES,
+        include_timing: bool = False,
+    ) -> None:
+        by = tuple(by)
+        if not by:
+            raise SchemaError("aggregate needs at least one group-by axis")
+        unknown = [a for a in by if a not in GROUPABLE_AXES]
+        if unknown:
+            raise SchemaError(
+                f"unknown group-by axis {unknown}; known: {', '.join(GROUPABLE_AXES)}"
+            )
+        self.by = by
+        self.include_timing = include_timing
+        self.records = 0
+        self._groups: dict[tuple, _GroupState] = {}
+
+    def feed(self, record: Mapping) -> None:
+        """Absorb one validated record."""
+        key = tuple(_axis_value(record, a) for a in self.by)
+        state = self._groups.get(key)
+        if state is None:
+            state = self._groups[key] = _GroupState()
+        state.feed(record)
+        self.records += 1
+
+    def feed_many(self, records: Iterable[Mapping]) -> None:
+        for record in records:
+            self.feed(record)
+
+    def groups(self) -> list[dict]:
+        """Snapshot the aggregated groups (non-destructive, repeatable)."""
+        if not self._groups:
+            raise SchemaError("aggregate over zero records")
+        return [
+            self._groups[key].finalize(
+                key, self.by, include_timing=self.include_timing
+            )
+            for key in sorted(
+                self._groups, key=lambda k: tuple(_sort_key(v) for v in k)
+            )
+        ]
+
+
 def aggregate(
     records: Iterable[Mapping],
     *,
@@ -154,82 +519,12 @@ def aggregate(
 
     ``by`` may name any of the spec axes (plus the synthetic ``faults``
     label); an unknown axis raises :class:`~repro.errors.SchemaError`.
+    The batch convenience over :class:`Aggregator`: one pass, bounded
+    per-group state, never the record dicts.
     """
-    by = tuple(by)
-    if not by:
-        raise SchemaError("aggregate needs at least one group-by axis")
-    unknown = [a for a in by if a not in GROUPABLE_AXES]
-    if unknown:
-        raise SchemaError(
-            f"unknown group-by axis {unknown}; known: {', '.join(GROUPABLE_AXES)}"
-        )
-
-    # Streaming-friendly: only the per-group scalar columns are retained,
-    # never the record dicts — a million-record file costs a few lists of
-    # numbers per group.
-    class _Acc:
-        __slots__ = ("runs", "statuses", "fault_events", "exact_true",
-                     "exact_false", "max_bits", "total_bits", "norms", "walls")
-
-        def __init__(self) -> None:
-            self.runs = 0
-            self.statuses: dict[str, int] = {}
-            self.fault_events = {"dropped": 0, "duplicated": 0, "flipped": 0}
-            self.exact_true = self.exact_false = 0
-            self.max_bits: list[int] = []
-            self.total_bits: list[int] = []
-            self.norms: list[float] = []
-            self.walls: list[float] = []
-
-    groups: dict[tuple, _Acc] = {}
-    for record in records:
-        key = tuple(_axis_value(record, a) for a in by)
-        acc = groups.get(key)
-        if acc is None:
-            acc = groups[key] = _Acc()
-        res = record["result"]
-        acc.runs += 1
-        acc.statuses[res["status"]] = acc.statuses.get(res["status"], 0) + 1
-        for name in acc.fault_events:
-            acc.fault_events[name] += res["faults"][name]
-        if res["exact"] is True:
-            acc.exact_true += 1
-        elif res["exact"] is False:
-            acc.exact_false += 1
-        acc.max_bits.append(res["max_message_bits"])
-        acc.total_bits.append(res["total_message_bits"])
-        norm = normalized_bits(record)
-        if norm is not None:
-            acc.norms.append(norm)
-        wall = record["timing"].get("wall_seconds")
-        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
-            acc.walls.append(wall)
-    if not groups:
-        raise SchemaError("aggregate over zero records")
-
-    out = []
-    for key in sorted(groups, key=lambda k: tuple(_sort_key(v) for v in k)):
-        acc = groups[key]
-        checked = acc.exact_true + acc.exact_false
-        group = {
-            "group": dict(zip(by, key)),
-            "runs": acc.runs,
-            "statuses": dict(sorted(acc.statuses.items())),
-            "exact": {
-                "true": acc.exact_true,
-                "false": acc.exact_false,
-                "checked": checked,
-                "rate": round(acc.exact_true / checked, _PRECISION) if checked else None,
-            },
-            "fault_events": acc.fault_events,
-            "max_message_bits": Stats.of(acc.max_bits).to_dict(),
-            "total_message_bits": Stats.of(acc.total_bits).to_dict(),
-            "bits_per_k2_log_n": Stats.of(acc.norms).to_dict() if acc.norms else None,
-        }
-        if include_timing:
-            group["wall_seconds"] = Stats.of(acc.walls).to_dict() if acc.walls else None
-        out.append(group)
-    return out
+    agg = Aggregator(by=by, include_timing=include_timing)
+    agg.feed_many(records)
+    return agg.groups()
 
 
 def aggregate_table(

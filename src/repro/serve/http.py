@@ -46,6 +46,7 @@ from repro.engine.shard import ShardManifest, shard_done_path, shard_stream_path
 from repro.obs.metrics import MetricsRegistry, render_prometheus
 from repro.serve.queue import Scheduler
 from repro.serve.store import TERMINAL_STATES, JobStore
+from repro.serve.summary import SummaryCache
 
 __all__ = ["ReproServer", "ServerThread", "DEFAULT_HOST", "DEFAULT_PORT"]
 
@@ -136,6 +137,7 @@ class ReproServer:
         self.port = port
         self.store = JobStore(root)
         self.metrics = MetricsRegistry()
+        self.summaries = SummaryCache()
         self.scheduler = Scheduler(
             self.store, workers=workers, queue_limit=queue_limit,
             executor=executor, jobs=jobs, shard_timeout=shard_timeout,
@@ -354,41 +356,26 @@ class ReproServer:
         self, writer: asyncio.StreamWriter, job_id: str,
         query: dict[str, list[str]],
     ) -> None:
-        from repro.results.aggregate import DEFAULT_AXES, aggregate
+        from repro.results.aggregate import DEFAULT_AXES
 
         job = self.store.get(job_id)
         by = DEFAULT_AXES
         if "by" in query:
             by = tuple(a.strip() for a in query["by"][0].split(",") if a.strip())
-        records = [
-            json.loads(line)
-            for line in self._durable_lines(job)
-        ]
         try:
-            groups = aggregate(records, by=by)
+            # Incremental: the cache feeds only bytes appended since the
+            # last poll, so a tight polling client costs O(new records),
+            # not O(all records) per request.
+            count, groups = self.summaries.summary(
+                self.store.results_dir(job_id), job, by
+            )
         except ReproError as exc:
             raise ServeError(str(exc)) from exc
+        self.metrics.inc("serve_summary_requests")
         await self._send_json(writer, 200, {
-            "id": job_id, "state": job["state"], "records": len(records),
+            "id": job_id, "state": job["state"], "records": count,
             "by": list(by), "groups": groups,
         })
-
-    def _durable_lines(self, job: dict[str, Any]) -> list[bytes]:
-        """Every durably-written record line, shard-major (or canonical)."""
-        results_dir = self.store.results_dir(job["id"])
-        if job["state"] == "done" and job.get("jsonl"):
-            path = pathlib.Path(job["jsonl"])
-            if path.exists():
-                return [l for l in path.read_bytes().split(b"\n") if l]
-        lines: list[bytes] = []
-        for i in range(job["shards"]):
-            stream = shard_stream_path(results_dir, job["name"], i, job["shards"])
-            if not stream.exists():
-                continue
-            data = stream.read_bytes()
-            complete = data[: data.rfind(b"\n") + 1]  # drop any torn tail
-            lines.extend(l for l in complete.split(b"\n") if l)
-        return lines
 
     # ------------------------------------------------------------------ #
     # record streaming

@@ -35,6 +35,7 @@ Design decisions a reader should not have to reverse-engineer:
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
 import threading
 import time
@@ -378,13 +379,42 @@ class Scheduler:
             return
         results_dir = self.store.results_dir(job["id"])
         try:
+            # compact=True: the merge also writes the columnar sibling and
+            # appends this campaign's point to the job's trend ledger.
             path, count = await asyncio.to_thread(
-                merge_shards, results_dir, job["name"]
+                functools.partial(merge_shards, compact=True),
+                results_dir, job["name"],
             )
         except ReproError as exc:
             self._finish(job, "failed", error=f"merge failed: {exc}")
             return
+        self._publish_trends(results_dir)
         self._finish(job, "done", records=count, jsonl=str(path))
+
+    def _publish_trends(self, results_dir) -> None:
+        """Fold a job's freshly-appended trend point into the metrics.
+
+        ``/metrics`` then carries one gauge per (campaign, metric) series
+        — the live view of the same numbers ``trends.jsonl`` accumulates
+        durably.  Advisory: a malformed ledger must not fail the job.
+        """
+        from repro.store import load_points, trends_path
+
+        # Advisory means advisory: NOTHING here may stand between a merged
+        # job and its terminal state (a wedged gauge update once left jobs
+        # "running" forever — the regression test pins this).
+        try:
+            points = load_points(trends_path(results_dir))
+            for point in points[-8:]:  # tail is this job's; bounded either way
+                for metric, value in point["metrics"].items():
+                    self.metrics.set_gauge(
+                        f"trend_{metric}", value,
+                        kind=point["kind"], series=point["name"],
+                    )
+            if points:
+                self.metrics.inc("serve_trend_points")
+        except Exception:
+            return
 
     def _finish(self, job: dict[str, Any], state: str, **fields: Any) -> dict[str, Any]:
         started = job.get("_started_clock")

@@ -1,0 +1,108 @@
+"""repro.store — the columnar record store and the cross-campaign trend ledger.
+
+The results layer at fleet scale (DESIGN.md §11).  Canonical JSONL stays
+the source of truth; this package adds two derived, cheaper views:
+
+* :mod:`~repro.store.columnar` — ``<name>.columns``, a compact per-column
+  binary sibling of each merged campaign file (stdlib-only, deflate-
+  optional, provably lossless: decode + canonical dump reproduces the
+  JSONL bytes exactly);
+* :mod:`~repro.store.trends` — ``trends.jsonl``, an append-only ledger of
+  per-run metric points, content-hash keyed so a series only chains
+  comparable runs, consulted by ``repro bench --gate --trends`` and
+  ``repro report --trend`` to fail on trajectories ("p95 regressed three
+  consecutive runs"), not just one frozen pin.
+
+:func:`compact_campaign` is the merge hook: after
+:func:`repro.engine.shard.merge_shards` publishes ``<name>.jsonl``, it
+writes the columnar sibling and appends the campaign's trend point in one
+call (``merge_shards(..., compact=True)`` / ``repro merge --compact``).
+
+Everything here raises :class:`~repro.errors.StoreError` and is pure
+stdlib.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.store.columnar import (
+    COLUMNAR_SUFFIX,
+    COLUMNAR_VERSION,
+    columnar_path,
+    compact,
+    decode_columnar,
+    encode_columnar,
+    iter_columnar,
+    read_column,
+    read_columnar,
+    verify,
+    write_columnar,
+)
+from repro.store.trends import (
+    DEFAULT_WINDOW,
+    TREND_VERSION,
+    TRENDS_FILENAME,
+    append_point,
+    bench_point,
+    bench_trend_key,
+    campaign_point,
+    campaign_trend_key,
+    load_points,
+    regressed,
+    series,
+    trends_path,
+    validate_point,
+)
+
+__all__ = [
+    "COLUMNAR_VERSION",
+    "COLUMNAR_SUFFIX",
+    "columnar_path",
+    "encode_columnar",
+    "decode_columnar",
+    "write_columnar",
+    "read_columnar",
+    "read_column",
+    "iter_columnar",
+    "compact",
+    "verify",
+    "TREND_VERSION",
+    "TRENDS_FILENAME",
+    "DEFAULT_WINDOW",
+    "trends_path",
+    "validate_point",
+    "append_point",
+    "load_points",
+    "series",
+    "regressed",
+    "bench_trend_key",
+    "campaign_trend_key",
+    "campaign_point",
+    "bench_point",
+    "compact_campaign",
+]
+
+
+def compact_campaign(
+    results_dir: str | pathlib.Path, name: str
+) -> tuple[pathlib.Path, dict]:
+    """Compact a merged campaign and append its trend point.
+
+    Expects ``<results_dir>/<name>.jsonl`` and its checkpoint manifest to
+    exist (i.e. run *after* :func:`~repro.engine.shard.merge_shards`).
+    Returns ``(columns_path, trend_point)``.
+    """
+    from repro.engine.shard import ShardManifest
+    from repro.results.records import load_records
+
+    results_dir = pathlib.Path(results_dir)
+    manifest = ShardManifest.load(results_dir, name)
+    jsonl = results_dir / f"{name}.jsonl"
+    records = load_records(jsonl)
+    columns = write_columnar(columnar_path(jsonl), records)
+    point = campaign_point(
+        name=name, spec_hashes=manifest.spec_hashes, records=records
+    )
+    append_point(trends_path(results_dir), point)
+    return columns, point

@@ -1,0 +1,469 @@
+"""Compact columnar encoding of campaign record files.
+
+One ``<name>.columns`` file sits next to the canonical ``<name>.jsonl``
+(DESIGN.md §3) and holds the same records decomposed into per-column
+binary pages: int64 arrays for the counters, bitmaps for the booleans, a
+tri-state byte column for ``result.exact``, offset-indexed UTF-8 blobs
+for the strings, and canonical-JSON blobs for the open-schema sections
+(``family_params`` / ``protocol_params`` / ``spec.faults`` / ``timing``).
+Readers that only need a few columns (trend metrics, the bit-count
+sketches) touch a few contiguous pages instead of parsing every JSON
+object, and the whole body deflates well because like bytes sit together.
+
+The format is stdlib-only and deterministic:
+
+* header — ``RCOL`` magic, ``u16`` version, ``u16`` flags (bit 0 = the
+  body is zlib-deflated), ``u64`` record count, ``u16`` column count;
+* directory — per column: ``u16`` name length, UTF-8 name, ``u8`` kind,
+  ``u64`` payload length;
+* body — the column payloads concatenated in directory order,
+  deflated as a whole when flag bit 0 is set (``zlib``, not ``gzip``:
+  no mtime byte, so identical records give identical files).
+
+Losslessness is the contract, not an aspiration: the JSON columns store
+each value's *canonical* dump (sorted keys), and re-serializing a decoded
+record with ``json.dumps(..., sort_keys=True)`` reproduces the original
+canonical JSONL line byte for byte — :func:`verify` checks exactly that,
+and the round-trip test pins it.  Anything the codec cannot represent
+(an integer outside int64, a string page past 4 GiB) raises
+:class:`~repro.errors.StoreError` at write time; the canonical JSONL is
+never the artifact at risk.
+
+All read-side failures — missing file, bad magic, newer version, unknown
+flags, a truncated directory or body — raise
+:class:`~repro.errors.StoreError` with the offending path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import tempfile
+import zlib
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import StoreError
+
+__all__ = [
+    "COLUMNAR_VERSION",
+    "COLUMNAR_SUFFIX",
+    "columnar_path",
+    "encode_columnar",
+    "decode_columnar",
+    "write_columnar",
+    "read_columnar",
+    "read_column",
+    "iter_columnar",
+    "compact",
+    "verify",
+]
+
+COLUMNAR_VERSION = 1
+
+#: Suffix of the columnar sibling: ``results/<name>.jsonl`` → ``<name>.columns``.
+COLUMNAR_SUFFIX = ".columns"
+
+_MAGIC = b"RCOL"
+_FLAG_DEFLATE = 0x0001
+_KNOWN_FLAGS = _FLAG_DEFLATE
+_HEADER = struct.Struct(">4sHHQH")
+_DIR_NAME = struct.Struct(">H")
+_DIR_META = struct.Struct(">BQ")
+
+# Column kinds.
+_INT = 0        # int64 big-endian array
+_NULL_INT = 1   # presence bitmap + int64 array (zeros where null)
+_BOOL = 2       # bitmap
+_TRI = 3        # one byte per row: 0=null, 1=false, 2=true
+_STR = 4        # u32 cumulative end offsets + UTF-8 blob
+_JSON = 5       # string layout; values are canonical JSON dumps
+
+#: The fixed record schema as columns: ``(name, kind, path)`` where
+#: ``path`` is the key chain into the record dict.  This table IS the
+#: file layout — reordering or retyping an entry is a format change and
+#: must bump :data:`COLUMNAR_VERSION`.  Open-schema sections (params,
+#: fault spec, timing) ride as canonical-JSON columns so int-vs-float
+#: spellings survive the round trip untouched.
+_COLUMNS: tuple[tuple[str, int, tuple[str, ...]], ...] = (
+    ("spec_version", _INT, ("spec_version",)),
+    ("cached", _BOOL, ("cached",)),
+    ("spec.scenario", _STR, ("spec", "scenario")),
+    ("spec.family", _STR, ("spec", "family")),
+    ("spec.n", _INT, ("spec", "n")),
+    ("spec.seed", _INT, ("spec", "seed")),
+    ("spec.protocol", _STR, ("spec", "protocol")),
+    ("spec.family_params", _JSON, ("spec", "family_params")),
+    ("spec.protocol_params", _JSON, ("spec", "protocol_params")),
+    ("spec.budget_bits", _NULL_INT, ("spec", "budget_bits")),
+    ("spec.shuffle_delivery", _BOOL, ("spec", "shuffle_delivery")),
+    ("spec.faults", _JSON, ("spec", "faults")),
+    ("result.status", _STR, ("result", "status")),
+    ("result.output_kind", _STR, ("result", "output_kind")),
+    ("result.output_digest", _STR, ("result", "output_digest")),
+    ("result.exact", _TRI, ("result", "exact")),
+    ("result.graph_n", _INT, ("result", "graph_n")),
+    ("result.graph_m", _INT, ("result", "graph_m")),
+    ("result.max_message_bits", _INT, ("result", "max_message_bits")),
+    ("result.total_message_bits", _INT, ("result", "total_message_bits")),
+    ("result.faults.dropped", _INT, ("result", "faults", "dropped")),
+    ("result.faults.duplicated", _INT, ("result", "faults", "duplicated")),
+    ("result.faults.flipped", _INT, ("result", "faults", "flipped")),
+    ("result.error", _STR, ("result", "error")),
+    ("timing", _JSON, ("timing",)),
+)
+
+
+def columnar_path(jsonl_path: str | pathlib.Path) -> pathlib.Path:
+    """The columnar sibling of a records file (``.jsonl`` → ``.columns``)."""
+    return pathlib.Path(jsonl_path).with_suffix(COLUMNAR_SUFFIX)
+
+
+def _get(record: Mapping, path: tuple[str, ...]):
+    value = record
+    for key in path:
+        value = value[key]
+    return value
+
+
+def _bitmap(bits: list[bool]) -> bytes:
+    out = bytearray((len(bits) + 7) // 8)
+    for i, bit in enumerate(bits):
+        if bit:
+            out[i >> 3] |= 1 << (i & 7)
+    return bytes(out)
+
+
+def _unbitmap(data: bytes, count: int) -> list[bool]:
+    return [bool(data[i >> 3] & (1 << (i & 7))) for i in range(count)]
+
+
+def _pack_ints(name: str, values: list[int]) -> bytes:
+    try:
+        return struct.pack(f">{len(values)}q", *values)
+    except struct.error as exc:
+        raise StoreError(
+            f"column {name}: value outside int64 range ({exc}); "
+            "the canonical JSONL remains authoritative"
+        ) from None
+
+
+def _pack_strings(name: str, values: list[str]) -> bytes:
+    blob = bytearray()
+    offsets = bytearray()
+    for value in values:
+        blob += value.encode("utf-8")
+        if len(blob) > 0xFFFFFFFF:
+            raise StoreError(f"column {name}: string page exceeds 4 GiB")
+        offsets += struct.pack(">I", len(blob))
+    return bytes(offsets) + bytes(blob)
+
+
+def _unpack_strings(name: str, payload: bytes, count: int,
+                    *, where: str) -> list[str]:
+    index_len = 4 * count
+    if len(payload) < index_len:
+        raise StoreError(f"{where}: column {name} offset index is truncated")
+    ends = struct.unpack(f">{count}I", payload[:index_len]) if count else ()
+    blob = payload[index_len:]
+    out: list[str] = []
+    start = 0
+    for end in ends:
+        if end < start or end > len(blob):
+            raise StoreError(f"{where}: column {name} has a corrupt offset")
+        out.append(blob[start:end].decode("utf-8"))
+        start = end
+    return out
+
+
+def _encode_column(name: str, kind: int, values: list) -> bytes:
+    if kind == _INT:
+        return _pack_ints(name, values)
+    if kind == _NULL_INT:
+        present = [v is not None for v in values]
+        return _bitmap(present) + _pack_ints(
+            name, [v if v is not None else 0 for v in values]
+        )
+    if kind == _BOOL:
+        return _bitmap(values)
+    if kind == _TRI:
+        return bytes(0 if v is None else 2 if v else 1 for v in values)
+    if kind == _STR:
+        return _pack_strings(name, values)
+    if kind == _JSON:
+        return _pack_strings(
+            name, [json.dumps(v, sort_keys=True) for v in values]
+        )
+    raise StoreError(f"column {name}: unknown kind {kind}")  # pragma: no cover
+
+
+def _decode_column(name: str, kind: int, payload: bytes, count: int,
+                   *, where: str) -> list:
+    if kind == _INT:
+        if len(payload) != 8 * count:
+            raise StoreError(f"{where}: column {name} payload is truncated")
+        return list(struct.unpack(f">{count}q", payload))
+    if kind == _NULL_INT:
+        bm = (count + 7) // 8
+        if len(payload) != bm + 8 * count:
+            raise StoreError(f"{where}: column {name} payload is truncated")
+        present = _unbitmap(payload[:bm], count)
+        ints = struct.unpack(f">{count}q", payload[bm:]) if count else ()
+        return [v if p else None for p, v in zip(present, ints)]
+    if kind == _BOOL:
+        if len(payload) != (count + 7) // 8:
+            raise StoreError(f"{where}: column {name} payload is truncated")
+        return _unbitmap(payload, count)
+    if kind == _TRI:
+        if len(payload) != count:
+            raise StoreError(f"{where}: column {name} payload is truncated")
+        if any(b > 2 for b in payload):
+            raise StoreError(f"{where}: column {name} holds a byte outside 0..2")
+        return [None if b == 0 else b == 2 for b in payload]
+    if kind == _STR:
+        return _unpack_strings(name, payload, count, where=where)
+    if kind == _JSON:
+        return [
+            json.loads(s)
+            for s in _unpack_strings(name, payload, count, where=where)
+        ]
+    raise StoreError(f"{where}: column {name} has unknown kind {kind}")
+
+
+def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
+    # Same discipline as shard._atomic_write_text: readers only ever see
+    # the old bytes or the new bytes.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def encode_columnar(
+    records: Iterable[Mapping], *, compress: bool = True
+) -> bytes:
+    """Encode validated records to columnar bytes (the write-path core).
+
+    ``records`` must already satisfy the record schema (the engine and
+    :func:`repro.results.iter_records` both guarantee that); the codec
+    trusts the shape and only rejects values it cannot *represent*.
+    """
+    rows = list(records)
+    payloads = []
+    for name, kind, key_path in _COLUMNS:
+        payloads.append(
+            _encode_column(name, kind, [_get(r, key_path) for r in rows])
+        )
+    directory = bytearray()
+    for (name, kind, _), payload in zip(_COLUMNS, payloads):
+        encoded = name.encode("utf-8")
+        directory += _DIR_NAME.pack(len(encoded)) + encoded
+        directory += _DIR_META.pack(kind, len(payload))
+    body = b"".join(payloads)
+    flags = 0
+    if compress:
+        flags |= _FLAG_DEFLATE
+        body = zlib.compress(body, 6)
+    header = _HEADER.pack(_MAGIC, COLUMNAR_VERSION, flags, len(rows),
+                          len(_COLUMNS))
+    return header + bytes(directory) + body
+
+
+def write_columnar(
+    path: str | pathlib.Path,
+    records: Iterable[Mapping],
+    *,
+    compress: bool = True,
+) -> pathlib.Path:
+    """Atomically write validated records as one columnar file."""
+    path = pathlib.Path(path)
+    _atomic_write_bytes(path, encode_columnar(records, compress=compress))
+    return path
+
+
+def read_columnar(path: str | pathlib.Path) -> list[dict]:
+    """Decode one columnar file back into record dicts.
+
+    The inverse of :func:`write_columnar`:
+    ``json.dumps(record, sort_keys=True)`` over each returned dict
+    reproduces the canonical JSONL lines the file was compacted from.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise StoreError(f"columnar file {path} does not exist")
+    return decode_columnar(path.read_bytes(), where=path.name)
+
+
+def decode_columnar(data: bytes, *, where: str = "<bytes>") -> list[dict]:
+    """Decode columnar bytes back into record dicts (the read-path core)."""
+    if len(data) < _HEADER.size:
+        raise StoreError(f"{where}: truncated header "
+                         f"({len(data)} < {_HEADER.size} bytes)")
+    count, columns, body = _parse_frame(data, where)
+
+    offset = 0
+    decoded: list[list] = []
+    for name, kind, payload_len in columns:
+        decoded.append(
+            _decode_column(name, kind, body[offset:offset + payload_len],
+                           count, where=where)
+        )
+        offset += payload_len
+
+    records: list[dict] = []
+    for i in range(count):
+        record: dict = {}
+        for (name, _kind, key_path), values in zip(_COLUMNS, decoded):
+            target = record
+            for key in key_path[:-1]:
+                target = target.setdefault(key, {})
+            target[key_path[-1]] = values[i]
+        records.append(record)
+    return records
+
+
+def _parse_frame(
+    data: bytes, where: str
+) -> tuple[int, list[tuple[str, int, int]], bytes]:
+    """Validate header + directory; return ``(count, columns, flat body)``."""
+    magic, version, flags, count, ncols = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise StoreError(f"{where}: bad magic {magic!r} (not a .columns file)")
+    if version > COLUMNAR_VERSION:
+        raise StoreError(
+            f"{where}: columnar version {version} is newer than this reader "
+            f"(understands <= {COLUMNAR_VERSION})"
+        )
+    if flags & ~_KNOWN_FLAGS:
+        raise StoreError(f"{where}: unknown flag bits 0x{flags:04x}")
+
+    pos = _HEADER.size
+    columns: list[tuple[str, int, int]] = []
+    for _ in range(ncols):
+        if pos + _DIR_NAME.size > len(data):
+            raise StoreError(f"{where}: truncated column directory")
+        (name_len,) = _DIR_NAME.unpack_from(data, pos)
+        pos += _DIR_NAME.size
+        if pos + name_len + _DIR_META.size > len(data):
+            raise StoreError(f"{where}: truncated column directory")
+        name = data[pos:pos + name_len].decode("utf-8")
+        pos += name_len
+        kind, payload_len = _DIR_META.unpack_from(data, pos)
+        pos += _DIR_META.size
+        columns.append((name, kind, payload_len))
+
+    body = data[pos:]
+    if flags & _FLAG_DEFLATE:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as exc:
+            raise StoreError(f"{where}: corrupt deflated body: {exc}") from None
+    if len(body) != sum(c[2] for c in columns):
+        raise StoreError(
+            f"{where}: body holds {len(body)} byte(s) but the directory "
+            f"promises {sum(c[2] for c in columns)}"
+        )
+    expected = [(name, kind) for name, kind, _ in _COLUMNS]
+    if [(name, kind) for name, kind, _ in columns] != expected:
+        raise StoreError(
+            f"{where}: column directory does not match the v{COLUMNAR_VERSION} "
+            "record schema"
+        )
+    return count, columns, body
+
+
+def read_column(path: str | pathlib.Path, column: str) -> list:
+    """Decode ONE named column — the point of storing columns at all.
+
+    A trend metric or sketch feed needs a single field per record;
+    this slices that column's contiguous page out of the body and decodes
+    it alone, skipping every byte of the other 24 pages.  Unknown column
+    names raise :class:`~repro.errors.StoreError` listing what exists.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise StoreError(f"columnar file {path} does not exist")
+    data = path.read_bytes()
+    where = path.name
+    count, columns, body = _parse_frame(data, where)
+    offset = 0
+    for name, kind, payload_len in columns:
+        if name == column:
+            return _decode_column(
+                name, kind, body[offset:offset + payload_len], count,
+                where=where,
+            )
+        offset += payload_len
+    raise StoreError(
+        f"{where}: no column {column!r} "
+        f"(columns: {', '.join(n for n, _, _ in columns)})"
+    )
+
+
+def iter_columnar(path: str | pathlib.Path) -> Iterator[dict]:
+    """Iterate decoded records (columnar decode is batch; this is sugar)."""
+    yield from read_columnar(path)
+
+
+def compact(
+    jsonl_path: str | pathlib.Path, *, compress: bool = True
+) -> tuple[pathlib.Path, int]:
+    """Compact a canonical records file into its ``.columns`` sibling.
+
+    Returns ``(columns_path, record_count)``.  The JSONL stays in place
+    and stays authoritative; the columnar file is a derived artifact a
+    re-merge simply overwrites.
+    """
+    from repro.results.records import load_records
+
+    jsonl_path = pathlib.Path(jsonl_path)
+    records = load_records(jsonl_path)
+    out = columnar_path(jsonl_path)
+    write_columnar(out, records, compress=compress)
+    return out, len(records)
+
+
+def verify(
+    jsonl_path: str | pathlib.Path,
+    columns_path: str | pathlib.Path | None = None,
+) -> int:
+    """Prove the columnar sibling lossless against its JSONL; return count.
+
+    Compares the canonical line bytes of every decoded record against the
+    JSONL's non-blank lines, in order.  Any difference — count or content —
+    raises :class:`~repro.errors.StoreError` naming the first divergent
+    record.
+    """
+    jsonl_path = pathlib.Path(jsonl_path)
+    if columns_path is None:
+        columns_path = columnar_path(jsonl_path)
+    if not jsonl_path.exists():
+        raise StoreError(f"records file {jsonl_path} does not exist")
+    lines = [
+        line for line in jsonl_path.read_text().splitlines() if line.strip()
+    ]
+    decoded = read_columnar(columns_path)
+    if len(lines) != len(decoded):
+        raise StoreError(
+            f"{pathlib.Path(columns_path).name} holds {len(decoded)} "
+            f"record(s) but {jsonl_path.name} holds {len(lines)}"
+        )
+    for i, (line, record) in enumerate(zip(lines, decoded), start=1):
+        if json.dumps(record, sort_keys=True) != line:
+            raise StoreError(
+                f"record {i}: columnar decode differs from "
+                f"{jsonl_path.name} — the store is stale or corrupt; "
+                "re-run compaction"
+            )
+    return len(decoded)

@@ -61,8 +61,10 @@ class TestUsageErrors:
 
 class TestReportPaths:
     def test_report_missing_file(self, capsys, tmp_path):
-        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
-        assert "does not exist" in capsys.readouterr().err
+        # A missing records file is a domain condition (the campaign has
+        # not merged yet), not a usage error: exit 1, never a traceback.
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 1
+        assert "has not written" in capsys.readouterr().err
 
     def test_report_malformed_jsonl(self, capsys, tmp_path):
         path = tmp_path / "bad.jsonl"

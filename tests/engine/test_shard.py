@@ -199,6 +199,27 @@ class TestPartialLoader:
         with pytest.raises(ShardError, match="corrupt record mid-stream"):
             load_partial_records(path)
 
+    def test_zero_byte_stream_is_empty_not_error(self, tmp_path):
+        # A shard that crashed before its first fsync leaves a zero-byte
+        # file; that is an empty stream to resume, not corruption.
+        path = tmp_path / "zero.jsonl"
+        path.write_bytes(b"")
+        assert load_partial_records(path) == ([], 0, 0)
+
+    def test_header_only_stream_is_one_torn_line(self, tmp_path):
+        # Only the opening bytes of the first record landed: everything
+        # is torn tail, nothing is trusted, nothing raises.
+        path = tmp_path / "torn.jsonl"
+        path.write_bytes(b'{"spec_version": 2, "spec"')
+        records, torn, good = load_partial_records(path)
+        assert (records, torn, good) == ([], 1, 0)
+
+    def test_blank_lines_only_stream_is_empty(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_bytes(b"\n\n\n")
+        records, torn, _good = load_partial_records(path)
+        assert (records, torn) == ([], 0)
+
 
 class TestMerge:
     @pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])

@@ -1,0 +1,170 @@
+"""The incremental aggregation core: Aggregator ≡ aggregate, bounded state.
+
+The PR 10 bugfix replaced the unbounded per-group value lists with
+running stats and a bounded quantile sketch.  These tests pin the
+contract that made the swap safe: below the spill limit every number is
+*bit-identical* to the old list-based path, the state is
+order-independent, and zero records is a domain error, not a crash.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.results.aggregate import (
+    DEFAULT_AXES,
+    SKETCH_EXACT_LIMIT,
+    Aggregator,
+    QuantileSketch,
+    RunningStats,
+    aggregate,
+    percentile,
+)
+
+
+def _records(make_record, n=40, seed=0):
+    rng = random.Random(seed)
+    return [
+        make_record(
+            protocol=rng.choice(["forest", "spanning_tree"]),
+            n=rng.choice([16, 64]),
+            max_bits=rng.randrange(1, 2000),
+            total_bits=rng.randrange(1, 50_000),
+            wall=rng.random(),
+            status=rng.choice(["ok", "ok", "violation"]),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestAggregatorEquivalence:
+    def test_feed_matches_batch(self, make_record):
+        records = _records(make_record)
+        agg = Aggregator()
+        for record in records:
+            agg.feed(record)
+        assert agg.records == len(records)
+        assert agg.groups() == aggregate(records)
+
+    def test_groups_is_a_snapshot_not_a_drain(self, make_record):
+        records = _records(make_record, n=10)
+        agg = Aggregator()
+        agg.feed_many(records[:5])
+        first = agg.groups()
+        assert agg.groups() == first  # reading twice changes nothing
+        agg.feed_many(records[5:])
+        assert agg.groups() == aggregate(records)
+
+    def test_custom_axes_and_timing(self, make_record):
+        records = _records(make_record, n=25, seed=3)
+        agg = Aggregator(by=("protocol",), include_timing=True)
+        agg.feed_many(records)
+        assert agg.groups() == aggregate(records, by=("protocol",),
+                                         include_timing=True)
+        assert "wall_seconds" in agg.groups()[0]
+
+    def test_default_axes_exported(self):
+        assert Aggregator().by == tuple(DEFAULT_AXES)
+
+
+class TestDomainErrors:
+    def test_zero_records_is_a_schema_error(self):
+        with pytest.raises(SchemaError, match="zero records"):
+            Aggregator().groups()
+
+    def test_unknown_axis_rejected_at_construction(self):
+        with pytest.raises(SchemaError, match="axis"):
+            Aggregator(by=("protocol", "nonsense"))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            Aggregator(by=())
+
+
+class TestRunningStats:
+    def test_matches_naive_float_summary(self):
+        rng = random.Random(7)
+        values = [rng.random() * 100 for _ in range(500)]
+        rs = RunningStats(floats=True)
+        for v in values:
+            rs.feed(v)
+        got = rs.stats()
+        assert got["count"] == 500
+        assert got["min"] == min(values)
+        assert got["max"] == max(values)
+        assert got["mean"] == round(sum(values) / 500, 6)
+        assert got["p95"] == percentile(values, 95.0)
+
+    def test_merge_equals_single_feed(self):
+        rng = random.Random(11)
+        values = [rng.randrange(10_000) for _ in range(300)]
+        whole = RunningStats()
+        for v in values:
+            whole.feed(v)
+        left, right = RunningStats(), RunningStats()
+        for v in values[:150]:
+            left.feed(v)
+        for v in values[150:]:
+            right.feed(v)
+        left.merge(right)
+        assert left.stats() == whole.stats()
+
+    def test_empty_stats_is_schema_error(self):
+        with pytest.raises(SchemaError, match="empty"):
+            RunningStats().stats()
+
+
+class TestQuantileSketch:
+    def test_exact_below_limit(self):
+        rng = random.Random(13)
+        values = [rng.randrange(1_000_000) for _ in range(1000)]
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.feed(v)
+        assert not sketch.spilled
+        for q in (0.0, 25.0, 50.0, 95.0, 100.0):
+            assert sketch.quantile(q) == percentile(values, q)
+
+    def test_spill_bounds_memory_and_error(self):
+        n = SKETCH_EXACT_LIMIT + 1000
+        rng = random.Random(17)
+        values = rng.sample(range(1, 50_000_000), n)
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.feed(v)
+        assert sketch.spilled
+        exact = percentile(values, 95.0)
+        assert abs(sketch.quantile(95.0) - exact) / exact <= 0.10
+
+    def test_merge_commutes(self):
+        rng = random.Random(19)
+        values = [rng.randrange(1, 100_000) for _ in range(2000)]
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in values[::2]:
+            a.feed(v)
+        for v in values[1::2]:
+            b.feed(v)
+        ab, ba = QuantileSketch(), QuantileSketch()
+        for v in values[::2]:
+            ab.feed(v)
+        for v in values[1::2]:
+            ba.feed(v)
+        ab.merge(b)
+        ba.merge(a)
+        assert ab.quantile(95.0) == ba.quantile(95.0)
+
+    def test_empty_quantile_is_schema_error(self):
+        with pytest.raises(SchemaError, match="empty"):
+            QuantileSketch().quantile(95.0)
+
+    def test_negative_and_zero_values_survive_spill(self):
+        values = list(range(-3000, 3000))  # 6000 distinct forces a spill
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.feed(v)
+        assert sketch.spilled
+        assert sketch.quantile(0.0) <= -2700  # ~9.1% relative, sign kept
+        assert sketch.quantile(100.0) >= 2700
+        lo, hi = sketch.quantile(25.0), sketch.quantile(75.0)
+        assert lo < hi

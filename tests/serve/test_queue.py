@@ -156,7 +156,7 @@ def test_worker_crash_retries_then_succeeds(tmp_path, monkeypatch):
     sched = _scheduler(tmp_path, retries=2, backoff=0.001)
     monkeypatch.setattr(
         "repro.serve.queue.merge_shards",
-        lambda results_dir, name: (results_dir / "x.jsonl", 0),
+        lambda results_dir, name, compact=False: (results_dir / "x.jsonl", 0),
     )
     job = _run_assignment_with(
         sched, monkeypatch, [WorkerCrash("pool died"), _FakeResult()]
@@ -164,6 +164,53 @@ def test_worker_crash_retries_then_succeeds(tmp_path, monkeypatch):
     assert job["state"] == "done"
     assert job["attempts"] == 1
     assert sched.metrics.to_dict()["counters"]["serve_shard_retries"] == 1
+
+
+def test_trend_publish_failure_cannot_wedge_completion(tmp_path, monkeypatch):
+    """Regression: a raising gauge update once left merged jobs 'running'
+    forever — trend publishing is advisory and must never block _finish."""
+    from repro.store import TREND_VERSION, append_point, trends_path
+
+    sched = _scheduler(tmp_path, retries=0)
+
+    def fake_merge(results_dir, name, compact=False):
+        append_point(trends_path(results_dir), {
+            "trend_version": TREND_VERSION, "kind": "campaign",
+            "key": "k", "name": name, "metrics": {"records": 1},
+        })
+        return results_dir / "x.jsonl", 1
+
+    monkeypatch.setattr("repro.serve.queue.merge_shards", fake_merge)
+
+    def broken_gauge(*args, **kwargs):
+        raise TypeError("gauge exploded")
+
+    monkeypatch.setattr(sched.metrics, "set_gauge", broken_gauge)
+    job = _run_assignment_with(sched, monkeypatch, [_FakeResult()])
+    assert job["state"] == "done"
+
+
+def test_completed_job_publishes_trend_gauges(tmp_path, monkeypatch):
+    from repro.store import TREND_VERSION, append_point, trends_path
+
+    sched = _scheduler(tmp_path, retries=0)
+
+    def fake_merge(results_dir, name, compact=False):
+        assert compact is True  # the scheduler always compacts on merge
+        append_point(trends_path(results_dir), {
+            "trend_version": TREND_VERSION, "kind": "campaign",
+            "key": "k", "name": name,
+            "metrics": {"records": 3, "max_message_bits_p95": 20},
+        })
+        return results_dir / "x.jsonl", 3
+
+    monkeypatch.setattr("repro.serve.queue.merge_shards", fake_merge)
+    job = _run_assignment_with(sched, monkeypatch, [_FakeResult()])
+    assert job["state"] == "done"
+    snap = sched.metrics.to_dict()
+    gauges = snap["gauges"]
+    assert any(k.startswith("trend_records") for k in gauges)
+    assert snap["counters"].get("serve_trend_points") == 1
 
 
 def test_worker_crash_exhausts_retries(tmp_path, monkeypatch):

@@ -1,0 +1,245 @@
+"""Round-trip and corruption coverage for the columnar codec."""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import StoreError
+from repro.results.records import canonical_line
+from repro.store import (
+    COLUMNAR_VERSION,
+    columnar_path,
+    compact,
+    decode_columnar,
+    encode_columnar,
+    iter_columnar,
+    read_column,
+    read_columnar,
+    verify,
+    write_columnar,
+)
+from repro.store.columnar import _HEADER, _MAGIC
+
+
+def _canonical(records):
+    return [json.dumps(r, sort_keys=True) for r in records]
+
+
+def _write_jsonl(path, records):
+    path.write_text("".join(canonical_line(r) + "\n" for r in records))
+
+
+def test_columnar_path_suffix(tmp_path):
+    assert columnar_path(tmp_path / "smoke.jsonl") == tmp_path / "smoke.columns"
+
+
+@pytest.mark.parametrize("compress", [True, False])
+def test_round_trip_byte_identity(tmp_path, random_records, compress):
+    records = random_records(11, 60)
+    out = tmp_path / "r.columns"
+    write_columnar(out, records, compress=compress)
+    decoded = read_columnar(out)
+    assert _canonical(decoded) == _canonical(records)
+
+
+def test_round_trip_preserves_int_float_spellings(tmp_path, make_record):
+    # 0 vs 0.0 in fault rates and protocol params must survive: the JSON
+    # columns store the canonical dump, not a lossy re-typed value.
+    records = [
+        make_record(faults={"drop": 0, "duplicate": 0.5, "flip": 0.0,
+                            "seed": 7}, wall=1e-9),
+        make_record(faults={"drop": 0.25, "duplicate": 1, "flip": 0,
+                            "seed": 7}, k=2, wall=0.0),
+    ]
+    out = write_columnar(tmp_path / "r.columns", records)
+    assert _canonical(read_columnar(out)) == _canonical(records)
+
+
+def test_round_trip_zero_records(tmp_path):
+    out = write_columnar(tmp_path / "empty.columns", [])
+    assert read_columnar(out) == []
+
+
+def test_round_trip_null_and_tristate(tmp_path, make_record):
+    records = [
+        make_record(exact=None),
+        make_record(exact=False),
+        make_record(exact=True),
+    ]
+    records[0]["spec"]["budget_bits"] = 128
+    out = write_columnar(tmp_path / "r.columns", records)
+    decoded = read_columnar(out)
+    assert [r["result"]["exact"] for r in decoded] == [None, False, True]
+    assert [r["spec"]["budget_bits"] for r in decoded] == [128, None, None]
+    assert _canonical(decoded) == _canonical(records)
+
+
+def test_compression_shrinks_but_decodes_identically(tmp_path, random_records):
+    records = random_records(3, 200)
+    small = write_columnar(tmp_path / "a.columns", records, compress=True)
+    large = write_columnar(tmp_path / "b.columns", records, compress=False)
+    assert small.stat().st_size < large.stat().st_size
+    assert _canonical(read_columnar(small)) == _canonical(read_columnar(large))
+
+
+def test_deterministic_bytes(tmp_path, random_records):
+    records = random_records(5, 30)
+    a = write_columnar(tmp_path / "a.columns", records)
+    b = write_columnar(tmp_path / "b.columns", records)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_encode_decode_in_memory_round_trip(random_records):
+    records = random_records(31, 40)
+    blob = encode_columnar(records)
+    assert _canonical(decode_columnar(blob)) == _canonical(records)
+
+
+@pytest.mark.parametrize("compress", [True, False])
+def test_read_column_slices_one_page(tmp_path, random_records, compress):
+    records = random_records(13, 50)
+    out = write_columnar(tmp_path / "r.columns", records, compress=compress)
+    bits = read_column(out, "result.max_message_bits")
+    assert bits == [r["result"]["max_message_bits"] for r in records]
+    assert read_column(out, "spec.protocol") == \
+        [r["spec"]["protocol"] for r in records]
+    assert read_column(out, "result.exact") == \
+        [r["result"]["exact"] for r in records]
+
+
+def test_read_column_unknown_name(tmp_path, make_record):
+    out = write_columnar(tmp_path / "r.columns", [make_record()])
+    with pytest.raises(StoreError, match="no column"):
+        read_column(out, "result.nope")
+
+
+def test_read_column_missing_file(tmp_path):
+    with pytest.raises(StoreError, match="does not exist"):
+        read_column(tmp_path / "ghost.columns", "spec.n")
+
+
+def test_iter_columnar_matches_read(tmp_path, random_records):
+    records = random_records(9, 10)
+    out = write_columnar(tmp_path / "r.columns", records)
+    assert list(iter_columnar(out)) == read_columnar(out)
+
+
+def test_int64_overflow_raises_store_error(tmp_path, make_record):
+    record = make_record()
+    record["result"]["total_message_bits"] = 1 << 80
+    with pytest.raises(StoreError, match="int64"):
+        write_columnar(tmp_path / "r.columns", [record])
+
+
+def test_compact_and_verify(tmp_path, random_records):
+    records = random_records(21, 25)
+    jsonl = tmp_path / "smoke.jsonl"
+    _write_jsonl(jsonl, records)
+    columns, count = compact(jsonl)
+    assert count == 25
+    assert columns == tmp_path / "smoke.columns"
+    assert verify(jsonl) == 25
+
+
+def test_verify_detects_stale_store(tmp_path, random_records, make_record):
+    records = random_records(2, 5)
+    jsonl = tmp_path / "smoke.jsonl"
+    _write_jsonl(jsonl, records)
+    compact(jsonl)
+    # The campaign gains a record; the derived store is now stale.
+    _write_jsonl(jsonl, records + [make_record(seed=99)])
+    with pytest.raises(StoreError, match="holds 5 record"):
+        verify(jsonl)
+
+
+def test_verify_detects_content_divergence(tmp_path, random_records):
+    records = random_records(4, 5)
+    jsonl = tmp_path / "smoke.jsonl"
+    _write_jsonl(jsonl, records)
+    compact(jsonl)
+    mutated = [dict(r, cached=True) for r in records]
+    _write_jsonl(jsonl, mutated)
+    with pytest.raises(StoreError, match="record 1"):
+        verify(jsonl)
+
+
+def test_verify_missing_jsonl(tmp_path):
+    with pytest.raises(StoreError, match="does not exist"):
+        verify(tmp_path / "gone.jsonl")
+
+
+def test_read_missing_file(tmp_path):
+    with pytest.raises(StoreError, match="does not exist"):
+        read_columnar(tmp_path / "gone.columns")
+
+
+def test_read_bad_magic(tmp_path):
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(StoreError, match="bad magic"):
+        read_columnar(bad)
+
+
+def test_read_truncated_header(tmp_path):
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(b"RCOL\x00")
+    with pytest.raises(StoreError, match="truncated header"):
+        read_columnar(bad)
+
+
+def test_read_newer_version(tmp_path):
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(_HEADER.pack(_MAGIC, COLUMNAR_VERSION + 1, 0, 0, 0))
+    with pytest.raises(StoreError, match="newer than this reader"):
+        read_columnar(bad)
+
+
+def test_read_unknown_flags(tmp_path):
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(_HEADER.pack(_MAGIC, COLUMNAR_VERSION, 0x8000, 0, 0))
+    with pytest.raises(StoreError, match="unknown flag"):
+        read_columnar(bad)
+
+
+def test_read_truncated_directory(tmp_path, make_record):
+    out = write_columnar(tmp_path / "r.columns", [make_record()])
+    data = out.read_bytes()
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(data[: _HEADER.size + 3])
+    with pytest.raises(StoreError, match="truncated column directory"):
+        read_columnar(bad)
+
+
+def test_read_truncated_body(tmp_path, make_record):
+    out = write_columnar(tmp_path / "r.columns", [make_record()],
+                         compress=False)
+    data = out.read_bytes()
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(data[:-5])
+    with pytest.raises(StoreError, match="body holds"):
+        read_columnar(bad)
+
+
+def test_read_corrupt_deflate_body(tmp_path, make_record):
+    out = write_columnar(tmp_path / "r.columns", [make_record()],
+                         compress=True)
+    data = bytearray(out.read_bytes())
+    data[-1] ^= 0xFF
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(bytes(data))
+    with pytest.raises(StoreError, match="(corrupt deflated|body holds)"):
+        read_columnar(bad)
+
+
+def test_read_schema_mismatch(tmp_path):
+    # A structurally valid file whose directory names a different schema.
+    name = b"not.a.column"
+    directory = struct.pack(">H", len(name)) + name + struct.pack(">BQ", 0, 8)
+    body = zlib.compress(struct.pack(">q", 1), 6)
+    header = _HEADER.pack(_MAGIC, COLUMNAR_VERSION, 1, 1, 1)
+    bad = tmp_path / "bad.columns"
+    bad.write_bytes(header + directory + body)
+    with pytest.raises(StoreError, match="does not match"):
+        read_columnar(bad)

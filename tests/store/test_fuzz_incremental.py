@@ -1,0 +1,110 @@
+"""Seeded fuzz: incremental aggregation ≡ batch, regardless of sharding.
+
+The serve ``/summary`` path feeds shard streams as they land; the merge
+path aggregates the final file in one pass.  Both must produce the same
+bytes.  This suite drives random record streams through every shard
+factorization the engine uses (1/2/3/4/8 shards) and through shuffled
+feed orders, and pins ``json.dumps(groups, sort_keys=True)`` equality —
+bit-for-bit, not approximately.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.results.aggregate import (
+    SKETCH_EXACT_LIMIT,
+    Aggregator,
+    aggregate,
+    percentile,
+)
+
+AXES = ("protocol", "family", "n")
+
+
+def _bits(groups):
+    return json.dumps(groups, sort_keys=True)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1011])
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+def test_sharded_incremental_matches_batch(random_records, seed, shards):
+    records = random_records(seed, 120)
+    batch = aggregate(records)
+
+    agg = Aggregator()
+    for i in range(shards):
+        agg.feed_many(records[i::shards])  # interleaved, as shards land
+    assert agg.records == len(records)
+    assert _bits(agg.groups()) == _bits(batch)
+
+
+@pytest.mark.parametrize("seed", [3, 9, 27])
+def test_feed_order_is_irrelevant(random_records, seed):
+    records = random_records(seed, 80)
+    expected = _bits(aggregate(records, by=AXES, include_timing=True))
+    for perm_seed in range(4):
+        shuffled = records[:]
+        random.Random(perm_seed).shuffle(shuffled)
+        agg = Aggregator(by=AXES, include_timing=True)
+        agg.feed_many(shuffled)
+        assert _bits(agg.groups()) == expected
+
+
+@pytest.mark.parametrize("seed", [5, 13])
+def test_partial_aggregators_partition_the_whole(random_records, seed):
+    # Per-shard aggregators see disjoint record slices; their group keys
+    # must partition the whole's — no group appears from nowhere and none
+    # is lost, which is what lets the summary cache tail shards freely.
+    records = random_records(seed, 90)
+    whole = Aggregator(by=AXES)
+    whole.feed_many(records)
+
+    parts = []
+    for i in range(3):
+        part = Aggregator(by=AXES)
+        part.feed_many(records[i::3])
+        parts.append(part)
+    assert sum(p.records for p in parts) == len(records)
+
+    whole_keys = {tuple(g["group"][a] for a in AXES) for g in whole.groups()}
+    part_keys = set()
+    for part in parts:
+        part_keys |= {tuple(g["group"][a] for a in AXES) for g in part.groups()}
+    assert part_keys == whole_keys
+
+
+def test_exact_mode_p95_matches_percentile(random_records):
+    # Below the spill limit the sketch answers with the *exact*
+    # nearest-rank percentile — bit-identical to the legacy batch helper.
+    records = random_records(77, 200)
+    groups = aggregate(records, by=("protocol",))
+    by_protocol = {}
+    for record in records:
+        by_protocol.setdefault(record["spec"]["protocol"], []).append(
+            record["result"]["max_message_bits"]
+        )
+    for group in groups:
+        values = by_protocol[group["group"]["protocol"]]
+        assert group["max_message_bits"]["p95"] == percentile(values, 95.0)
+
+
+def test_spill_mode_stays_bounded_and_order_independent(make_record):
+    # More distinct values than the exact limit: the sketch spills to log
+    # buckets.  Accuracy degrades to the documented ~9.1% relative error;
+    # order independence must NOT degrade.
+    n = SKETCH_EXACT_LIMIT + 500
+    rng = random.Random(0xBEC4E12011)
+    values = rng.sample(range(1, 10_000_000), n)
+    records = [make_record(max_bits=v) for v in values]
+
+    agg_fwd = Aggregator(by=("protocol",))
+    agg_fwd.feed_many(records)
+    agg_rev = Aggregator(by=("protocol",))
+    agg_rev.feed_many(records[::-1])
+    assert _bits(agg_fwd.groups()) == _bits(agg_rev.groups())
+
+    exact = percentile(values, 95.0)
+    approx = agg_fwd.groups()[0]["max_message_bits"]["p95"]
+    assert abs(approx - exact) / exact <= 0.10

@@ -1,0 +1,203 @@
+"""CLI surface for the store: compact/verify/read, merge --compact,
+``report --trend``, and the bench trend gate.
+
+Exit-code convention (PR 2): 0 success, 1 domain failure (stale store,
+trend regression, campaign with nothing to report), 2 usage error.
+Errors are messages, never tracebacks.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store import (
+    TREND_VERSION,
+    append_point,
+    bench_trend_key,
+    campaign_trend_key,
+    load_points,
+    trends_path,
+)
+
+
+@pytest.fixture()
+def campaign_dir(tmp_path):
+    """A merged 3-shard smoke campaign (the CI job's shape)."""
+    for i in range(3):
+        assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                     "--shards", "3", "--shard-index", str(i)]) == 0
+    assert main(["merge", "smoke", "--results-dir", str(tmp_path)]) == 0
+    return tmp_path
+
+
+class TestStoreSubcommand:
+    def test_compact_then_verify_then_read(self, campaign_dir, capsys):
+        records = campaign_dir / "smoke.jsonl"
+        capsys.readouterr()
+        assert main(["store", "compact", str(records), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 8
+        assert payload["columns"].endswith("smoke.columns")
+
+        assert main(["store", "verify", str(records), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True and payload["records"] == 8
+
+        assert main(["store", "read",
+                     str(campaign_dir / "smoke.columns")]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == [
+            line for line in records.read_text().splitlines() if line.strip()
+        ]
+
+    def test_verify_stale_store_exits_one(self, campaign_dir, capsys):
+        records = campaign_dir / "smoke.jsonl"
+        assert main(["store", "compact", str(records)]) == 0
+        with records.open("a") as fh:  # campaign re-run appended a record
+            first = records.read_text().splitlines()[0]
+            fh.write(first + "\n")
+        capsys.readouterr()
+        assert main(["store", "verify", str(records)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err or "holds" in err
+        assert "Traceback" not in err
+
+    def test_compact_missing_records_exits_two(self, tmp_path, capsys):
+        assert main(["store", "compact",
+                     str(tmp_path / "ghost.jsonl")]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_read_missing_columns_exits_two(self, tmp_path, capsys):
+        assert main(["store", "read", str(tmp_path / "ghost.columns")]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
+
+class TestMergeCompact:
+    def test_merge_compact_writes_store_and_trend(self, tmp_path, capsys):
+        for i in range(3):
+            assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                         "--shards", "3", "--shard-index", str(i)]) == 0
+        capsys.readouterr()
+        assert main(["merge", "smoke", "--results-dir", str(tmp_path),
+                     "--compact", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["columns"].endswith("smoke.columns")
+        assert payload["trends"].endswith("trends.jsonl")
+        assert (tmp_path / "smoke.columns").exists()
+
+        points = load_points(trends_path(tmp_path))
+        assert len(points) == 1
+        assert points[0]["kind"] == "campaign"
+        assert points[0]["metrics"]["records"] == 8
+
+        # Round-trip acceptance: the store proves lossless via the CLI.
+        assert main(["store", "verify",
+                     str(tmp_path / "smoke.jsonl")]) == 0
+
+    def test_repeated_merge_compact_extends_series(self, tmp_path, capsys):
+        for i in range(2):
+            assert main(["campaign", "smoke", "--results-dir", str(tmp_path),
+                         "--shards", "2", "--shard-index", str(i)]) == 0
+        for _ in range(3):
+            assert main(["merge", "smoke", "--results-dir", str(tmp_path),
+                         "--compact"]) == 0
+        points = load_points(trends_path(tmp_path))
+        assert len(points) == 3
+        assert len({p["key"] for p in points}) == 1  # same grid, same series
+
+
+class TestReportTrend:
+    def test_report_trend_appends_point(self, campaign_dir, capsys):
+        capsys.readouterr()
+        assert main(["report", str(campaign_dir / "smoke.jsonl"),
+                     "--trend", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trend"]["regressed"] is False
+        assert payload["trend"]["points"] == 1
+        assert len(load_points(trends_path(campaign_dir))) == 1
+
+    def test_report_trend_regression_exits_one(self, campaign_dir, capsys):
+        # Inject a synthetic 3-run climb below any real p95 so the real
+        # run's value extends the strictly-increasing tail.  The series
+        # key must match what report computes, so derive it by running
+        # report --trend once and reusing the recorded key.
+        ledger = trends_path(campaign_dir)
+        records = campaign_dir / "smoke.jsonl"
+        assert main(["report", str(records), "--trend", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        key = payload["trend"]["key"]
+        real = payload["trend"]["metrics"]["max_message_bits_p95"]
+        ledger.unlink()
+        for v in (real - 3, real - 2, real - 1):
+            append_point(ledger, {
+                "trend_version": TREND_VERSION, "kind": "campaign",
+                "key": key, "name": "smoke",
+                "metrics": {"max_message_bits_p95": v},
+            })
+        assert main(["report", str(records), "--trend"]) == 1
+        out = capsys.readouterr()
+        assert "TREND REGRESSION" in out.out or "regress" in out.out.lower()
+        assert "Traceback" not in out.err
+
+    def test_report_missing_records_is_clean_exit_one(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "smoke.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "has not written" in err
+        assert "Traceback" not in err
+
+    def test_report_empty_records_is_clean_exit_one(self, tmp_path, capsys):
+        records = tmp_path / "smoke.jsonl"
+        records.write_text("")
+        assert main(["report", str(records)]) == 1
+        err = capsys.readouterr().err
+        assert "nothing to report" in err
+        assert "Traceback" not in err
+
+
+class TestBenchTrendGate:
+    BENCH = ["bench", "l0-update", "--scale", "0.05", "--repeats", "1"]
+
+    def test_first_gated_run_starts_a_series(self, tmp_path, capsys):
+        ledger = tmp_path / "trends.jsonl"
+        assert main(self.BENCH + ["--output", "-",
+                                  "--trends", str(ledger)]) == 0
+        points = load_points(ledger)
+        assert [p["name"] for p in points] == ["l0-update"]
+        assert points[0]["kind"] == "bench"
+        assert points[0]["key"] == bench_trend_key(["l0-update"], 0.05)
+
+    def test_injected_three_run_climb_fails_the_gate(self, tmp_path, capsys):
+        # Acceptance criterion: a synthetic p95 regression spanning three
+        # prior runs makes `repro bench --trends` exit 1 — any real wall
+        # time extends a 1e-9 → 3e-9 climb.
+        ledger = tmp_path / "trends.jsonl"
+        key = bench_trend_key(["l0-update"], 0.05)
+        for v in (1e-9, 2e-9, 3e-9):
+            append_point(ledger, {
+                "trend_version": TREND_VERSION, "kind": "bench",
+                "key": key, "name": "l0-update",
+                "metrics": {"wall_p95_seconds": v},
+            })
+        capsys.readouterr()
+        assert main(self.BENCH + ["--output", "-",
+                                  "--trends", str(ledger)]) == 1
+        out = capsys.readouterr()
+        assert "trend" in (out.out + out.err).lower()
+        assert "Traceback" not in out.err
+        # The failing run still recorded its point (ledger is append-only
+        # history, not a gate artifact).
+        assert len(load_points(ledger)) == 4
+
+    def test_unreadable_ledger_is_usage_error(self, tmp_path, capsys):
+        ledger = tmp_path / "trends.jsonl"
+        ledger.write_text("not json\n" * 2)
+        assert main(self.BENCH + ["--output", "-",
+                                  "--trends", str(ledger)]) == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+
+def test_campaign_trend_key_separates_grids():
+    assert campaign_trend_key(["a", "b"]) != campaign_trend_key(["a"])
